@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Arbitrary-bitwidth sweep: accuracy vs secure-inference cost.
+
+ABNN2's selling point is that the protocol *adapts* to any weight
+bitwidth via the (N, gamma) fragment decomposition.  This example makes
+the trade-off concrete for one trained model:
+
+* quantize the same network at eta in {binary, ternary, 3, 4, 6, 8};
+* report test accuracy, the analytically optimal fragment scheme at each
+  bitwidth (Section 4.1 / Table 1), and the measured offline traffic of
+  a real secure prediction.
+
+Run:  python examples/bitwidth_sweep.py [--batch N]
+"""
+
+import argparse
+
+from repro import (
+    FragmentScheme,
+    Ring,
+    TrainConfig,
+    mnist_mlp,
+    optimal_scheme,
+    quantize_model,
+    secure_predict,
+    synthetic_mnist,
+    train_classifier,
+)
+from repro.crypto.group import MODP_TEST
+from repro.perf.costmodel import network_offline_comm_bits
+
+MB = 1024 * 1024
+
+SWEEP = [
+    ("binary", FragmentScheme.binary()),
+    ("ternary", FragmentScheme.ternary()),
+    ("3-bit", FragmentScheme.from_bits((2, 1))),
+    ("4-bit", FragmentScheme.from_bits((2, 2))),
+    ("6-bit", FragmentScheme.from_bits((2, 2, 2))),
+    ("8-bit", FragmentScheme.from_bits((2, 2, 2, 2))),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch", type=int, default=1)
+    args = parser.parse_args()
+
+    data = synthetic_mnist(n_train=1500, n_test=300)
+    model = mnist_mlp(seed=1, hidden=64)
+    train_classifier(model, data.train_x, data.train_y, TrainConfig(epochs=6))
+    float_acc = model.accuracy(data.test_x, data.test_y)
+    print(f"float model accuracy: {float_acc:.3f}\n")
+
+    ring = Ring(32)
+    layer_shapes = [(64, 784), (64, 64), (10, 64)]
+    print(
+        f"{'scheme':>10} {'gamma':>6} {'accuracy':>9} "
+        f"{'offline MB (measured)':>22} {'model MB (predicted)':>21}"
+    )
+    for label, scheme in SWEEP:
+        qmodel = quantize_model(model, scheme, ring, frac_bits=6)
+        acc = qmodel.accuracy(data.test_x, data.test_y)
+        x = data.test_x[: args.batch]
+        report = secure_predict(qmodel, x, group=MODP_TEST)
+        predicted = network_offline_comm_bits(layer_shapes, scheme, args.batch, 32) / 8 / MB
+        print(
+            f"{label:>10} {scheme.gamma:>6} {acc:>9.3f} "
+            f"{report.offline_bytes / MB:>22.2f} {predicted:>21.2f}"
+        )
+
+    print("\nanalytically optimal fragment decompositions (Table 1 model):")
+    for eta in (3, 4, 6, 8, 12):
+        one = optimal_scheme(eta, ring_bits=32, batch=1)
+        multi = optimal_scheme(eta, ring_bits=32, batch=128)
+        print(f"  eta={eta:>2}: batch=1 -> {one.name:>12}   batch=128 -> {multi.name}")
+
+
+if __name__ == "__main__":
+    main()

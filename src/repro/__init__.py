@@ -1,0 +1,59 @@
+"""ABNN2: secure two-party arbitrary-bitwidth quantized NN predictions.
+
+Reproduction of Shen et al., DAC 2022.  Typical usage::
+
+    from repro import (
+        Ring, FragmentScheme, mnist_mlp, synthetic_mnist,
+        train_classifier, quantize_model, secure_predict,
+    )
+
+    data = synthetic_mnist()
+    model = mnist_mlp()
+    train_classifier(model, data.train_x, data.train_y)
+    qmodel = quantize_model(model, FragmentScheme.from_bits((2, 2, 2, 2)), Ring(32))
+    report = secure_predict(qmodel, data.test_x[:8])
+    print(report.predictions)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table.
+"""
+
+from repro.core.params import optimal_scheme, scheme_for
+from repro.core.protocol import (
+    Abnn2Client,
+    Abnn2Server,
+    ModelMeta,
+    PredictionReport,
+    secure_predict,
+)
+from repro.nn.data import SyntheticMnist, synthetic_mnist
+from repro.nn.model import Sequential, mnist_mlp
+from repro.nn.quantize import QuantizedModel, quantize_model
+from repro.nn.train import TrainConfig, train_classifier
+from repro.quant.fixed_point import FixedPointEncoder
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ring",
+    "FragmentScheme",
+    "FixedPointEncoder",
+    "SyntheticMnist",
+    "synthetic_mnist",
+    "Sequential",
+    "mnist_mlp",
+    "TrainConfig",
+    "train_classifier",
+    "QuantizedModel",
+    "quantize_model",
+    "optimal_scheme",
+    "scheme_for",
+    "Abnn2Server",
+    "Abnn2Client",
+    "ModelMeta",
+    "PredictionReport",
+    "secure_predict",
+    "__version__",
+]

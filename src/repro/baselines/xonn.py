@@ -1,0 +1,250 @@
+"""XONN-style fully-garbled binarized network inference.
+
+XONN (USENIX Security'19) — the GC-family point in the paper's related
+work — binarizes weights *and* activations to ±1 so every multiplication
+becomes a free XNOR and each neuron reduces to a popcount plus a
+threshold test, letting the whole network run inside **one garbled
+circuit** with no OT-based linear layers at all.  This module implements
+that design on our GC stack as a fourth baseline:
+
+* :func:`binarize_network` projects a trained float MLP onto ±1 weights
+  with per-neuron integer thresholds (bias folded in);
+* :func:`bnn_template` builds the single circuit: per layer, XNORs (free)
+  -> popcount trees -> threshold comparisons; the output layer's class
+  popcounts are the scores;
+* :func:`xonn_predict` runs it two-party.  Unlike ABNN2, here the
+  **server garbles** (it owns the weights, which are garbler inputs) and
+  the **client evaluates**, receiving the activation-bit labels for its
+  input via OT and decoding the output scores.
+
+Scope note (DESIGN.md): inputs are binarized too (``x > threshold``), a
+simplification of XONN's integer first layer — accuracy consequences are
+reported, performance shape (everything in GC, zero offline OT matmuls,
+comm dominated by garbled tables) is what the comparison needs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.errors import ConfigError
+from repro.gc.builder import geq_words, popcount_tree, zero_wire
+from repro.gc.circuit import Circuit
+from repro.gc.protocol import GcSessions, run_evaluator, run_garbler
+from repro.net.channel import Channel
+from repro.net.runner import run_protocol
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class BinarizedNetwork:
+    """A ±1-weight network with integer thresholds per neuron.
+
+    ``weight_bits[k]`` is the (out, in) 0/1 matrix of layer ``k`` (bit 1
+    encodes +1); ``thresholds[k]`` the per-neuron popcount thresholds
+    (hidden layers only — the last layer outputs raw popcount scores).
+    ``input_threshold`` binarizes the client's float input.
+    """
+
+    weight_bits: list[np.ndarray]
+    thresholds: list[np.ndarray]
+    input_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if len(self.thresholds) != len(self.weight_bits) - 1:
+            raise ConfigError("need one threshold vector per hidden layer")
+
+    @property
+    def dims(self) -> list[int]:
+        return [self.weight_bits[0].shape[1]] + [w.shape[0] for w in self.weight_bits]
+
+    def binarize_input(self, x_float: np.ndarray) -> np.ndarray:
+        """(batch, features) floats -> 0/1 activation bits."""
+        return (np.asarray(x_float) > self.input_threshold).astype(np.uint8)
+
+    # ------------------------------------------------------------------ #
+    def forward_scores(self, x_float: np.ndarray) -> np.ndarray:
+        """Plaintext reference: per-class popcount scores, (batch, classes)."""
+        acts = self.binarize_input(x_float)
+        for k, w in enumerate(self.weight_bits):
+            # xnor popcount: matches = positions where act bit == weight bit
+            matches = acts[:, None, :] == w[None, :, :]
+            counts = matches.sum(axis=2)
+            if k < len(self.weight_bits) - 1:
+                acts = (counts >= self.thresholds[k][None, :]).astype(np.uint8)
+            else:
+                return counts.astype(np.int64)
+        raise AssertionError("unreachable")
+
+    def predict(self, x_float: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward_scores(x_float), axis=1)
+
+
+def binarize_network(model: Sequential, input_threshold: float = 0.5) -> BinarizedNetwork:
+    """Project a trained Dense/ReLU model onto the XONN weight space.
+
+    ``w -> sign(w)``; the bias folds into the neuron threshold: with
+    activations/weights in {-1, +1}, ``sum_i w_i a_i = 2*pc - n``, so
+    ``sum + b/s >= 0`` becomes ``pc >= ceil((n - b/s) / 2)`` where ``s``
+    is the layer's mean |w| (the binarization scale).
+    """
+    dense = [layer for layer in model.layers if isinstance(layer, Dense)]
+    if len(dense) < 2:
+        raise ConfigError("a binarized network needs at least two Dense layers")
+    weight_bits = []
+    thresholds = []
+    for idx, layer in enumerate(dense):
+        bits = (layer.weight >= 0).astype(np.uint8)
+        weight_bits.append(bits)
+        if idx < len(dense) - 1:
+            n = layer.weight.shape[1]
+            scale = float(np.mean(np.abs(layer.weight))) or 1.0
+            t = np.ceil((n - layer.bias / scale) / 2.0)
+            thresholds.append(np.clip(t, 0, n).astype(np.int64))
+    return BinarizedNetwork(weight_bits, thresholds, input_threshold)
+
+
+# --------------------------------------------------------------------- #
+# the single-circuit template
+# --------------------------------------------------------------------- #
+def _word_width(n: int) -> int:
+    return int(n).bit_length()
+
+
+def bnn_template(dims: list[int]) -> Circuit:
+    """One circuit for the whole binarized network.
+
+    Evaluator (client) inputs: ``dims[0]`` activation bits.  Garbler
+    (server) inputs, per layer: the weight bits row-major, then (hidden
+    layers) per-neuron threshold words of width ``log2(n_in)+1``.
+    Outputs: the last layer's popcount score words, class-major.
+    """
+    if len(dims) < 3:
+        raise ConfigError("need input, >=1 hidden, and output dims")
+    circ = Circuit()
+    acts = circ.evaluator_input(dims[0])
+    for k in range(1, len(dims)):
+        n_in, n_out = dims[k - 1], dims[k]
+        weight_wires = circ.garbler_input(n_out * n_in)
+        last = k == len(dims) - 1
+        t_width = _word_width(n_in)
+        threshold_wires = None if last else circ.garbler_input(n_out * t_width)
+        new_acts = []
+        outputs = []
+        for j in range(n_out):
+            row = weight_wires[j * n_in : (j + 1) * n_in]
+            xnors = [circ.inv(circ.xor(a, w)) for a, w in zip(acts, row)]
+            count = popcount_tree(circ, xnors)
+            if last:
+                # The adder tree may carry a few always-zero top bits past
+                # log2(n)+1; pc <= n_in, so trim to the canonical width.
+                outputs.extend(count[: _word_width(n_in)])
+            else:
+                t_word = threshold_wires[j * t_width : (j + 1) * t_width]
+                new_acts.append(geq_words(circ, count, t_word))
+        if last:
+            circ.mark_outputs(outputs)
+        else:
+            acts = new_acts
+    circ.validate()
+    return circ
+
+
+def _garbler_bits(bnn: BinarizedNetwork, n_inst: int) -> np.ndarray:
+    """Server's input bit matrix, in the template's wire order."""
+    rows = []
+    for k, w in enumerate(bnn.weight_bits):
+        rows.append(np.repeat(w.reshape(-1, 1), n_inst, axis=1).astype(np.uint8))
+        if k < len(bnn.weight_bits) - 1:
+            t_width = _word_width(w.shape[1])
+            t_bits = int_to_bits(bnn.thresholds[k].astype(np.uint64), t_width)
+            rows.append(np.repeat(t_bits.reshape(-1, 1), n_inst, axis=1).astype(np.uint8))
+    return np.concatenate(rows, axis=0)
+
+
+# --------------------------------------------------------------------- #
+# two-party execution (server garbles, client evaluates)
+# --------------------------------------------------------------------- #
+def xonn_server(
+    chan: Channel,
+    bnn: BinarizedNetwork,
+    batch: int,
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+    seed: int | None = None,
+) -> None:
+    circuit = bnn_template(bnn.dims)
+    sessions = GcSessions(chan, "garbler", group=group, ro=ro, seed=seed)
+    run_garbler(
+        chan, circuit, _garbler_bits(bnn, batch), batch, sessions, make_rng(seed)
+    )
+
+
+def xonn_client(
+    chan: Channel,
+    dims: list[int],
+    x_float: np.ndarray,
+    input_threshold: float = 0.5,
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Returns the (batch, classes) popcount scores."""
+    circuit = bnn_template(dims)
+    x_bits = (np.asarray(x_float) > input_threshold).astype(np.uint8).T  # (features, batch)
+    batch = x_bits.shape[1]
+    sessions = GcSessions(chan, "evaluator", group=group, ro=ro, seed=seed)
+    out_bits = run_evaluator(chan, circuit, x_bits, batch, sessions)
+    width = _word_width(dims[-2])
+    classes = dims[-1]
+    words = out_bits.T.reshape(batch, classes, width)
+    return bits_to_int(words).astype(np.int64)
+
+
+@dataclass
+class XonnReport:
+    scores: np.ndarray
+    predictions: np.ndarray
+    total_bytes: int
+    rounds: int
+    wall_time_s: float
+    and_gates: int
+
+
+def xonn_predict(
+    bnn: BinarizedNetwork,
+    x_float: np.ndarray,
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+    seed: int | None = 0,
+    timeout_s: float = 1200.0,
+) -> XonnReport:
+    """Run the full XONN-style prediction on one machine (two threads)."""
+    x = np.atleast_2d(np.asarray(x_float, dtype=np.float64))
+    batch = x.shape[0]
+    start = time.perf_counter()
+    result = run_protocol(
+        lambda ch: xonn_server(ch, bnn, batch, group, ro, seed),
+        lambda ch: xonn_client(
+            ch, bnn.dims, x, bnn.input_threshold, group, ro,
+            None if seed is None else seed + 1,
+        ),
+        timeout_s=timeout_s,
+    )
+    scores = result.client
+    return XonnReport(
+        scores=scores,
+        predictions=np.argmax(scores, axis=1),
+        total_bytes=result.total_bytes,
+        rounds=result.rounds,
+        wall_time_s=time.perf_counter() - start,
+        and_gates=bnn_template(bnn.dims).and_count,
+    )

@@ -1,0 +1,229 @@
+"""Command-line interface: train, ship, and run secure predictions.
+
+The CLI wires the library into the deployment shape the paper envisions —
+a model owner's process and a data owner's process talking over TCP:
+
+    # one-time, model owner
+    repro-abnn2 train --out model.npz --scheme "4(2,2)"
+    repro-abnn2 meta --model model.npz --out meta.json   # give to clients
+
+    # per session
+    repro-abnn2 serve   --model model.npz --port 9001 --batch 4
+    repro-abnn2 predict --meta meta.json --host 127.0.0.1 --port 9001 --demo 4
+
+    # protocol-parameter planning
+    repro-abnn2 cost --eta 8 --batch 128
+
+``train`` uses the synthetic MNIST-like task (the sandbox substitute for
+MNIST); ``predict --demo N`` draws N test digits from it.  Arbitrary
+inputs come in as ``.npy`` files shaped ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.params import enumerate_costs, optimal_scheme, scheme_for
+from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta
+from repro.errors import ReproError
+from repro.net import tcp
+from repro.nn.data import synthetic_mnist
+from repro.nn.model import mnist_mlp
+from repro.nn.persist import load_meta, load_model, save_meta, save_model
+from repro.nn.quantize import quantize_model
+from repro.nn.train import TrainConfig, train_classifier
+from repro.quant.fragments import TABLE2_SCHEMES
+from repro.utils.ring import Ring
+
+MB = 1024 * 1024
+
+
+def _parse_scheme(text: str):
+    if text in TABLE2_SCHEMES:
+        return TABLE2_SCHEMES[text]
+    return scheme_for(text)
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+def cmd_train(args) -> int:
+    print(f"training on synthetic MNIST ({args.epochs} epochs)...")
+    data = synthetic_mnist(n_train=args.samples, n_test=max(200, args.samples // 5))
+    model = mnist_mlp(seed=args.seed, hidden=args.hidden)
+    train_classifier(
+        model, data.train_x, data.train_y, TrainConfig(epochs=args.epochs, seed=args.seed)
+    )
+    print(f"float accuracy: {model.accuracy(data.test_x, data.test_y):.3f}")
+
+    scheme = _parse_scheme(args.scheme)
+    qmodel = quantize_model(model, scheme, Ring(args.ring), frac_bits=args.frac_bits)
+    qmodel.check_range(data.test_x)
+    print(f"quantized ({scheme.name}) accuracy: {qmodel.accuracy(data.test_x, data.test_y):.3f}")
+
+    save_model(args.out, qmodel)
+    print(f"wrote server bundle: {args.out}")
+    if args.meta_out:
+        save_meta(args.meta_out, ModelMeta.from_model(qmodel))
+        print(f"wrote client metadata: {args.meta_out}")
+    return 0
+
+
+def cmd_meta(args) -> int:
+    qmodel = load_model(args.model)
+    save_meta(args.out, ModelMeta.from_model(qmodel))
+    print(f"wrote client metadata: {args.out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    qmodel = load_model(args.model)
+    print(f"listening on {args.host}:{args.port} (batch={args.batch})...")
+    chan = tcp.listen(args.port, host=args.host, timeout_s=args.timeout)
+    try:
+        server = Abnn2Server(
+            chan, qmodel, args.batch, relu_variant=args.relu, seed=args.seed
+        )
+        print("client connected; running offline phase (OT triplets)...")
+        server.offline()
+        print(
+            f"offline done: {server.offline_stats.payload_bytes / MB:.2f} MB, "
+            f"{server.offline_stats.seconds:.2f}s; running online phase..."
+        )
+        server.online()
+        print(
+            f"online done: {server.online_stats.payload_bytes / MB:.2f} MB, "
+            f"{server.online_stats.seconds:.2f}s.  The prediction belongs "
+            "to the client; this side saw only shares."
+        )
+    finally:
+        chan.close()
+    return 0
+
+
+def cmd_predict(args) -> int:
+    meta = load_meta(args.meta)
+    if args.demo is not None:
+        data = synthetic_mnist()
+        x = data.test_x[: args.demo]
+        truth = data.test_y[: args.demo]
+    else:
+        x = np.load(args.input)
+        truth = None
+    if x.ndim != 2 or x.shape[1] != meta.layers[0].in_features:
+        print(
+            f"error: expected input of shape (batch, {meta.layers[0].in_features})",
+            file=sys.stderr,
+        )
+        return 2
+
+    ring = Ring(meta.ring_bits)
+    from repro.quant.fixed_point import FixedPointEncoder
+
+    encoder = FixedPointEncoder(ring, meta.frac_bits)
+    chan = tcp.connect(args.host, args.port, timeout_s=args.timeout)
+    try:
+        client = Abnn2Client(
+            chan, meta, x.shape[0], relu_variant=args.relu, seed=args.seed
+        )
+        print("connected; running offline phase (OT triplets)...")
+        client.offline()
+        print(
+            f"offline done: {client.offline_stats.payload_bytes / MB:.2f} MB; "
+            "running online phase..."
+        )
+        logits = client.online(encoder.encode(x.T))
+        predictions = np.argmax(ring.to_signed(logits), axis=0)
+    finally:
+        chan.close()
+    print(f"predictions: {predictions.tolist()}")
+    if truth is not None:
+        print(f"ground truth: {truth.tolist()}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    print(
+        f"fragment decompositions for eta={args.eta}, l={args.ring}, batch={args.batch}"
+    )
+    rows = enumerate_costs(args.eta, ring_bits=args.ring, batch=args.batch)
+    print(f"{'scheme':>16} {'gamma':>6} {'max N':>6} {'bits/weight':>12}")
+    for row in rows[: args.top]:
+        label = "(" + ",".join(str(b) for b in row["bit_widths"]) + ")"
+        print(f"{label:>16} {row['gamma']:>6} {row['max_n']:>6} {row['comm_bits']:>12}")
+    best = optimal_scheme(args.eta, ring_bits=args.ring, batch=args.batch)
+    print(f"\noptimal: {best.name}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-abnn2",
+        description="ABNN2 secure two-party QNN predictions (DAC'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("train", help="train + quantize a model on synthetic MNIST")
+    p.add_argument("--out", required=True, help="server bundle path (.npz)")
+    p.add_argument("--meta-out", help="also write client metadata JSON here")
+    p.add_argument("--scheme", default="4(2,2)", help="fragment scheme (Table 2 notation)")
+    p.add_argument("--ring", type=int, default=32, choices=(16, 32, 64))
+    p.add_argument("--frac-bits", type=int, default=6)
+    p.add_argument("--hidden", type=int, default=128)
+    p.add_argument("--epochs", type=int, default=6)
+    p.add_argument("--samples", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("meta", help="extract client metadata from a server bundle")
+    p.add_argument("--model", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_meta)
+
+    p = sub.add_parser("serve", help="run the server party over TCP")
+    p.add_argument("--model", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("predict", help="run the client party over TCP")
+    p.add_argument("--meta", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", help=".npy of shape (batch, features)")
+    group.add_argument("--demo", type=int, help="use N synthetic test digits")
+    p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("cost", help="rank fragment schemes by Table-1 cost")
+    p.add_argument("--eta", type=int, required=True)
+    p.add_argument("--ring", type=int, default=32)
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_cost)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""ABNN2 core protocols: the paper's primary contribution.
+
+* :mod:`repro.core.triplets` — dot-product / matrix triplet generation on
+  1-out-of-N OT extension (Algorithm 1), with the multi-batch OT-reuse
+  optimization (Section 4.1.2) and the one-batch correlated-OT
+  optimization (Section 4.1.3).
+* :mod:`repro.core.matmul` — the offline+online secure matrix
+  multiplication built on those triplets.
+* :mod:`repro.core.relu` — the GC-based non-linear layer (Algorithm 2)
+  and the paper's optimized two-stage ReLU.
+* :mod:`repro.core.protocol` — end-to-end two-party QNN prediction.
+* :mod:`repro.core.params` — (N, gamma) fragment-scheme selection.
+"""
+
+from repro.core.params import optimal_scheme, scheme_for
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_server,
+    generate_triplets_client,
+)
+from repro.core.matmul import SecureMatmulServer, SecureMatmulClient
+from repro.core.pooling import (
+    avgpool_share,
+    maxpool_client,
+    maxpool_server,
+)
+from repro.core.relu import (
+    relu_layer_server,
+    relu_layer_client,
+    sigmoid_layer_server,
+    sigmoid_layer_client,
+    truncate_share,
+)
+from repro.core.protocol import (
+    Abnn2Server,
+    Abnn2Client,
+    secure_predict,
+    PredictionReport,
+)
+
+__all__ = [
+    "optimal_scheme",
+    "scheme_for",
+    "TripletConfig",
+    "generate_triplets_server",
+    "generate_triplets_client",
+    "SecureMatmulServer",
+    "SecureMatmulClient",
+    "relu_layer_server",
+    "relu_layer_client",
+    "sigmoid_layer_server",
+    "sigmoid_layer_client",
+    "truncate_share",
+    "avgpool_share",
+    "maxpool_server",
+    "maxpool_client",
+    "Abnn2Server",
+    "Abnn2Client",
+    "secure_predict",
+    "PredictionReport",
+]

@@ -1,0 +1,110 @@
+"""Secure matrix multiplication: offline triplets + the free online step.
+
+The ABNN2 linear layer splits exactly as Section 3 describes:
+
+* **Offline** (data independent): the parties run
+  :mod:`repro.core.triplets` on the server's quantized ``W`` and the
+  client's random ``R``, ending with ``U + V = W R``.
+* **Online**: the client's real operand ``Z`` arrives additively shared
+  with ``<Z>_1 = R``; the server computes ``<Y>_0 = W <Z>_0 + U`` locally
+  and the client's share is simply ``<Y>_1 = V``.  No communication.
+
+These classes are the user-facing wrapper around that flow for a single
+matrix product; :mod:`repro.core.protocol` chains them per network layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_client,
+    generate_triplets_server,
+)
+from repro.errors import ConfigError, ProtocolError
+from repro.net.channel import Channel
+
+
+class SecureMatmulServer:
+    """Server side (model owner) of one secure W @ Z product."""
+
+    def __init__(self, chan: Channel, w_int: np.ndarray, config: TripletConfig, seed: int | None = None) -> None:
+        self.chan = chan
+        self.config = config
+        self.w_int = np.asarray(w_int, dtype=np.int64)
+        if self.w_int.shape != (config.m, config.n):
+            raise ConfigError(
+                f"W shape {self.w_int.shape} disagrees with config {(config.m, config.n)}"
+            )
+        self._seed = seed
+        self._u: np.ndarray | None = None
+
+    def offline(self) -> None:
+        """Run the OT-based triplet generation (interactive)."""
+        self._u = generate_triplets_server(self.chan, self.w_int, self.config, seed=self._seed)
+
+    @property
+    def u(self) -> np.ndarray:
+        if self._u is None:
+            raise ProtocolError("offline phase has not run yet")
+        return self._u
+
+    def online(self, z0_share: np.ndarray) -> np.ndarray:
+        """Local step: ``<Y>_0 = W <Z>_0 + U`` (no communication)."""
+        ring = self.config.ring
+        z0 = ring.reduce(z0_share)
+        if z0.shape != (self.config.n, self.config.o):
+            raise ConfigError(
+                f"expected share of shape {(self.config.n, self.config.o)}, got {z0.shape}"
+            )
+        return ring.add(ring.matmul(ring.reduce(self.w_int), z0), self.u)
+
+
+class SecureMatmulClient:
+    """Client side (data owner) of one secure W @ Z product."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        config: TripletConfig,
+        rng: np.random.Generator,
+        r_mat: np.ndarray | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.chan = chan
+        self.config = config
+        self._rng = rng
+        self._seed = seed
+        if r_mat is None:
+            r_mat = config.ring.sample(rng, (config.n, config.o))
+        self.r = config.ring.reduce(r_mat)
+        if self.r.shape != (config.n, config.o):
+            raise ConfigError(
+                f"R shape {self.r.shape} disagrees with config {(config.n, config.o)}"
+            )
+        self._v: np.ndarray | None = None
+
+    def offline(self) -> None:
+        """Run the OT-based triplet generation (interactive)."""
+        self._v = generate_triplets_client(
+            self.chan, self.r, self.config, self._rng, seed=self._seed
+        )
+
+    @property
+    def v(self) -> np.ndarray:
+        if self._v is None:
+            raise ProtocolError("offline phase has not run yet")
+        return self._v
+
+    def mask_input(self, z: np.ndarray) -> np.ndarray:
+        """``<Z>_0 = Z - R``: the share the client transmits to the server."""
+        ring = self.config.ring
+        z_arr = ring.reduce(z)
+        if z_arr.shape != self.r.shape:
+            raise ConfigError(f"operand shape {z_arr.shape} != R shape {self.r.shape}")
+        return ring.sub(z_arr, self.r)
+
+    def online(self) -> np.ndarray:
+        """Local step: the client's product share is just ``V``."""
+        return self.v

@@ -1,0 +1,114 @@
+"""Fragment-scheme selection: the paper's optimal (N, gamma) choices.
+
+Contribution 2 of the paper: "Among all possible combinations of protocol
+parameters N and gamma, we give the optimal parameter values for
+different bitwidth of quantized weights."  This module reproduces that
+search analytically from Table 1's cost formulas:
+
+* one-batch communication per weight element:
+  ``sum_i [ l * (N_i - 1) + 2*kappa ]`` bits,
+* multi-batch communication per weight element:
+  ``sum_i [ o * l * N_i + 2*kappa ]`` bits,
+
+with ``N_i = 2**b_i`` over all compositions ``(b_1, .., b_gamma)`` of the
+weight bitwidth eta (fragment width capped at 4 bits — the paper caps N
+at 16).  A "time" objective uses the same formulas as a proxy for OT
+masking work, which is what dominates wall-clock in the offline phase.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ConfigError
+from repro.quant.fragments import TABLE2_SCHEMES, FragmentScheme
+
+KAPPA = 128
+MAX_FRAGMENT_BITS = 4  # the paper caps N at 16 = 2^4
+
+
+def scheme_for(name: str) -> FragmentScheme:
+    """Look up a scheme by Table 2 notation (e.g. ``"8(2,2,2,2)"``)."""
+    if name in TABLE2_SCHEMES:
+        return TABLE2_SCHEMES[name]
+    raise ConfigError(
+        f"unknown scheme {name!r}; known: {sorted(TABLE2_SCHEMES)}"
+    )
+
+
+@lru_cache(maxsize=None)
+def _compositions(eta: int, max_part: int) -> tuple[tuple[int, ...], ...]:
+    """All ordered compositions of ``eta`` into parts in [1, max_part]."""
+    if eta == 0:
+        return ((),)
+    out = []
+    for head in range(1, min(eta, max_part) + 1):
+        for tail in _compositions(eta - head, max_part):
+            out.append((head,) + tail)
+    return tuple(out)
+
+
+def comm_bits_per_weight(
+    bit_widths: tuple[int, ...], ring_bits: int, batch: int, kappa: int = KAPPA
+) -> int:
+    """Table 1 communication (bits) for one weight element's OTs."""
+    total = 0
+    for width in bit_widths:
+        n = 1 << width
+        if batch == 1:
+            total += ring_bits * (n - 1) + 2 * kappa
+        else:
+            total += batch * ring_bits * n + 2 * kappa
+    return total
+
+
+def ot_count_per_weight(bit_widths: tuple[int, ...]) -> int:
+    """gamma — the number of (N 1)-OT invocations per weight element."""
+    return len(bit_widths)
+
+
+def optimal_scheme(
+    eta: int,
+    ring_bits: int = 32,
+    batch: int = 1,
+    objective: str = "comm",
+    kappa: int = KAPPA,
+) -> FragmentScheme:
+    """The cheapest fragment decomposition of an eta-bit weight.
+
+    ``objective`` is ``"comm"`` (bits on the wire, the Table 1 measure) or
+    ``"ots"`` (fewest OT invocations, i.e. smallest gamma; ties broken by
+    communication).  The search space is every composition of eta into
+    fragments of at most :data:`MAX_FRAGMENT_BITS` bits.
+    """
+    if not 1 <= eta <= 16:
+        raise ConfigError(f"eta must be in [1, 16], got {eta}")
+    if objective not in ("comm", "ots"):
+        raise ConfigError(f"unknown objective {objective!r}")
+    candidates = _compositions(eta, MAX_FRAGMENT_BITS)
+
+    def cost(widths: tuple[int, ...]) -> tuple:
+        comm = comm_bits_per_weight(widths, ring_bits, batch, kappa)
+        ots = ot_count_per_weight(widths)
+        return (comm, ots) if objective == "comm" else (ots, comm)
+
+    best = min(candidates, key=cost)
+    return FragmentScheme.from_bits(best)
+
+
+def enumerate_costs(
+    eta: int, ring_bits: int = 32, batch: int = 1, kappa: int = KAPPA
+) -> list[dict]:
+    """Cost table over all compositions — the data behind the ablation bench."""
+    rows = []
+    for widths in _compositions(eta, MAX_FRAGMENT_BITS):
+        rows.append(
+            {
+                "bit_widths": widths,
+                "gamma": len(widths),
+                "max_n": 1 << max(widths),
+                "comm_bits": comm_bits_per_weight(widths, ring_bits, batch, kappa),
+            }
+        )
+    rows.sort(key=lambda r: r["comm_bits"])
+    return rows

@@ -1,0 +1,492 @@
+"""End-to-end two-party QNN prediction (the full ABNN2 pipeline).
+
+Flow (paper Section 3, Figure 2):
+
+* **Offline** — for every linear layer the parties generate dot-product
+  triplets.  The client's triplet operand for layer 0 is the input mask
+  ``r`` (= ``<x>_1``); for layer ``i > 0`` it is the random ReLU output
+  share ``z1^i`` it will reuse online.  All OT traffic happens here.
+* **Online** — the client sends ``<x>_0 = x - r``; each linear layer is
+  then *local* (``<y>_0 = W <z>_0 + u + b``, ``<y>_1 = v``); hidden layers
+  truncate shares locally and run the GC ReLU; finally the server sends
+  ``<y>_0`` of the logits and the client reconstructs.
+
+Security: semi-honest, as composed from the proven sub-protocols (KK13
+OTs, additive sharing, Yao GC).  The ``optimized`` ReLU variant
+additionally reveals the activation sign pattern — see
+:mod:`repro.core.relu`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matmul import SecureMatmulClient, SecureMatmulServer
+from repro.core.pooling import avgpool_share, maxpool_client, maxpool_server
+from repro.core.relu import relu_layer_client, relu_layer_server, truncate_share
+from repro.core.triplets import TripletConfig
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.errors import ConfigError, ProtocolError
+from repro.gc.protocol import GcSessions
+from repro.net.channel import Channel
+from repro.net.runner import run_protocol
+from repro.nn.quantize import QuantizedModel
+from repro.nn.lowering import Im2colSpec, PoolSpec, lift_output, lower_shares
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class LayerMeta:
+    """Public facts about one linear layer (architecture is not secret).
+
+    ``conv`` carries the im2col geometry for convolution layers; for
+    those, ``matmul_rows/cols`` describe the lowered product while
+    ``in_features``/``out_features`` stay in flat-activation terms.
+    """
+
+    out_features: int
+    in_features: int
+    scheme: FragmentScheme
+    truncate_bits: int
+    conv: Im2colSpec | None = None
+    pool: PoolSpec | None = None
+
+    @property
+    def relu_features(self) -> int:
+        """Flat feature count entering the ReLU (before any pooling)."""
+        if self.pool:
+            return self.pool.in_features
+        return self.out_features
+
+    @property
+    def matmul_rows(self) -> int:
+        """m of the secure product (out_channels for conv)."""
+        if self.conv:
+            return self.relu_features // self.conv.n_positions
+        return self.relu_features
+
+    @property
+    def matmul_cols(self) -> int:
+        """n of the secure product (patch length for conv)."""
+        return self.conv.patch_len if self.conv else self.in_features
+
+    def batch_multiplier(self) -> int:
+        """Factor on the triplet batch o (output positions for conv)."""
+        return self.conv.n_positions if self.conv else 1
+
+
+@dataclass(frozen=True)
+class ModelMeta:
+    """Everything the *client* needs to know about the model: shapes and
+    schemes, but no weights."""
+
+    layers: tuple[LayerMeta, ...]
+    ring_bits: int
+    frac_bits: int
+
+    @classmethod
+    def from_model(cls, model: QuantizedModel) -> "ModelMeta":
+        layers = tuple(
+            LayerMeta(
+                out_features=layer.out_features,
+                in_features=layer.in_features,
+                scheme=layer.scheme,
+                truncate_bits=layer.truncate_bits,
+                conv=layer.conv,
+                pool=layer.pool,
+            )
+            for layer in model.layers
+        )
+        return cls(layers=layers, ring_bits=model.ring.bits, frac_bits=model.encoder.frac_bits)
+
+
+@dataclass
+class PhaseStats:
+    """Traffic and time attributable to one protocol phase."""
+
+    seconds: float
+    payload_bytes: int
+    rounds: int
+
+
+class _PartyBase:
+    def __init__(
+        self,
+        chan: Channel,
+        meta: ModelMeta,
+        batch: int,
+        relu_variant: str = "oblivious",
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if batch < 1:
+            raise ConfigError("batch must be positive")
+        self.chan = chan
+        self.meta = meta
+        self.batch = batch
+        self.relu_variant = relu_variant
+        self.group = group
+        self.ro = ro
+        self.ring = Ring(meta.ring_bits)
+        self.rng = make_rng(seed)
+        self._seed = seed
+        self.offline_stats: PhaseStats | None = None
+        self.online_stats: PhaseStats | None = None
+
+    def _layer_config(self, layer: LayerMeta) -> TripletConfig:
+        return TripletConfig(
+            ring=self.ring,
+            scheme=layer.scheme,
+            m=layer.matmul_rows,
+            n=layer.matmul_cols,
+            o=self.batch * layer.batch_multiplier(),
+            group=self.group,
+            ro=self.ro,
+        )
+
+    def _track_phase(self, label: str, fn):
+        before = self.chan.stats.snapshot()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        after = self.chan.stats.snapshot()
+        stats = PhaseStats(
+            seconds=elapsed,
+            payload_bytes=after.total_bytes - before.total_bytes,
+            rounds=after.rounds - before.rounds,
+        )
+        setattr(self, f"{label}_stats", stats)
+        return result
+
+
+class Abnn2Server(_PartyBase):
+    """The model owner.  Construct, then call :meth:`offline`, then
+    :meth:`online` once per prediction batch."""
+
+    #: Hook for baselines that swap the offline triplet generation.
+    matmul_server_cls = SecureMatmulServer
+
+    def __init__(self, chan: Channel, model: QuantizedModel, batch: int, **kwargs) -> None:
+        super().__init__(chan, ModelMeta.from_model(model), batch, **kwargs)
+        self.model = model
+        self._pending: list[list[SecureMatmulServer]] = []
+        self._gc = GcSessions(chan, "evaluator", group=self.group, ro=self.ro, seed=self._seed)
+
+    def offline(self, rounds: int = 1) -> None:
+        """Precompute triplet material for ``rounds`` prediction batches.
+
+        Triplet material is strictly single-use (reusing the client's
+        masks would leak input differences), so each future :meth:`online`
+        call consumes one precomputed round.  Callable again later to
+        top up.
+        """
+        if rounds < 1:
+            raise ConfigError("rounds must be positive")
+
+        def _run():
+            for round_idx in range(rounds):
+                matmuls = []
+                for idx, layer in enumerate(self.model.layers):
+                    server = self.matmul_server_cls(
+                        self.chan,
+                        layer.w_int,
+                        self._layer_config(self.meta.layers[idx]),
+                        seed=None
+                        if self._seed is None
+                        else self._seed + 101 * idx + 10007 * round_idx,
+                    )
+                    server.offline()
+                    matmuls.append(server)
+                self._pending.append(matmuls)
+
+        self._track_phase("offline", _run)
+
+    @property
+    def rounds_available(self) -> int:
+        """Prediction batches the precomputed material still covers."""
+        return len(self._pending)
+
+    def online(self) -> np.ndarray:
+        """Run one prediction batch; returns the server's logit share
+        (already transmitted to the client).  Consumes one offline round."""
+        if not self._pending:
+            raise ProtocolError(
+                "no precomputed triplets left: call offline(rounds=...) first"
+            )
+        matmuls = self._pending.pop(0)
+
+        def _run():
+            share0 = self.ring.reduce(self.chan.recv())  # <x>_0 from the client
+            for idx, (layer, matmul) in enumerate(zip(self.model.layers, matmuls)):
+                operand = lower_shares(layer.conv, share0) if layer.conv else share0
+                y0 = matmul.online(operand)
+                y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+                if layer.conv:
+                    y0 = lift_output(layer.conv, layer.shape[0], y0)
+                if idx < len(self.model.layers) - 1:
+                    y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
+                    share0 = relu_layer_server(
+                        self.chan, y0, self._gc, self.ring, self.relu_variant
+                    )
+                    if layer.pool:
+                        if layer.pool.kind == "avg":
+                            share0 = avgpool_share(self.ring, layer.pool, share0, party=0)
+                        else:
+                            share0 = maxpool_server(
+                                self.chan, layer.pool, share0, self._gc, self.ring
+                            )
+                else:
+                    self.chan.send(y0)
+                    return y0
+
+        return self._track_phase("online", _run)
+
+
+class Abnn2Client(_PartyBase):
+    """The data owner.  Knows the architecture (:class:`ModelMeta`) but
+    never the weights; learns the prediction."""
+
+    #: Hook for baselines that swap the offline triplet generation.
+    matmul_client_cls = SecureMatmulClient
+
+    def __init__(self, chan: Channel, meta: ModelMeta, batch: int, **kwargs) -> None:
+        super().__init__(chan, meta, batch, **kwargs)
+        self._pending: list[dict] = []
+        self._gc = GcSessions(chan, "garbler", group=self.group, ro=self.ro, seed=self._seed)
+
+    def offline(self, rounds: int = 1) -> None:
+        """Precompute triplets and fresh shares for ``rounds`` batches.
+
+        Must mirror the server's ``offline(rounds=...)`` call; material
+        is single-use (see :meth:`Abnn2Server.offline`).
+        """
+        if rounds < 1:
+            raise ConfigError("rounds must be positive")
+
+        def _run():
+            for round_idx in range(rounds):
+                matmuls = []
+                relu_shares = []
+                pool_shares = []
+                operand = self.ring.sample(
+                    self.rng, (self.meta.layers[0].in_features, self.batch)
+                )
+                input_mask = operand
+                for idx, layer in enumerate(self.meta.layers):
+                    r_mat = lower_shares(layer.conv, operand) if layer.conv else operand
+                    client = self.matmul_client_cls(
+                        self.chan,
+                        self._layer_config(layer),
+                        self.rng,
+                        r_mat=r_mat,
+                        seed=None
+                        if self._seed is None
+                        else self._seed + 101 * idx + 10007 * round_idx,
+                    )
+                    client.offline()
+                    matmuls.append(client)
+                    if idx < len(self.meta.layers) - 1:
+                        # The ReLU output share z1 doubles as the next R —
+                        # after any pooling is applied to it.
+                        z1_relu = self.ring.sample(
+                            self.rng, (layer.relu_features, self.batch)
+                        )
+                        relu_shares.append(z1_relu)
+                        if layer.pool is None:
+                            operand = z1_relu
+                            pool_shares.append(None)
+                        elif layer.pool.kind == "avg":
+                            # Average pooling is share-local and deterministic,
+                            # so the next operand is derivable offline.
+                            operand = avgpool_share(
+                                self.ring, layer.pool, z1_relu, party=1
+                            )
+                            pool_shares.append(None)
+                        else:
+                            # Max pooling reshares: pick the fresh share now.
+                            operand = self.ring.sample(
+                                self.rng, (layer.pool.out_features, self.batch)
+                            )
+                            pool_shares.append(operand)
+                self._pending.append(
+                    {
+                        "matmuls": matmuls,
+                        "relu_shares": relu_shares,
+                        "pool_shares": pool_shares,
+                        "input_mask": input_mask,
+                    }
+                )
+
+        self._track_phase("offline", _run)
+
+    @property
+    def rounds_available(self) -> int:
+        """Prediction batches the precomputed material still covers."""
+        return len(self._pending)
+
+    def online(self, x_ring: np.ndarray) -> np.ndarray:
+        """Run one prediction batch on fixed-point inputs shaped
+        ``(features, batch)``; returns the reconstructed integer logits.
+        Consumes one offline round."""
+        if not self._pending:
+            raise ProtocolError(
+                "no precomputed triplets left: call offline(rounds=...) first"
+            )
+        x = self.ring.reduce(x_ring)
+        expected = (self.meta.layers[0].in_features, self.batch)
+        if x.shape != expected:
+            raise ConfigError(f"expected input of shape {expected}, got {x.shape}")
+        material = self._pending.pop(0)
+
+        def _run():
+            # <x>_0 = x - r travels in flat form; each party lowers its
+            # own share locally where a conv layer needs it.
+            self.chan.send(self.ring.sub(x, material["input_mask"]))
+            logits = None
+            for idx, (layer, matmul) in enumerate(
+                zip(self.meta.layers, material["matmuls"])
+            ):
+                y1 = matmul.online()
+                if layer.conv:
+                    y1 = lift_output(layer.conv, layer.matmul_rows, y1)
+                if idx < len(self.meta.layers) - 1:
+                    y1 = truncate_share(self.ring, y1, layer.truncate_bits, party=1)
+                    z1_relu = relu_layer_client(
+                        self.chan,
+                        y1,
+                        material["relu_shares"][idx],
+                        self._gc,
+                        self.ring,
+                        self.rng,
+                        self.relu_variant,
+                    )
+                    if layer.pool is not None and layer.pool.kind == "max":
+                        maxpool_client(
+                            self.chan,
+                            layer.pool,
+                            z1_relu,
+                            material["pool_shares"][idx],
+                            self._gc,
+                            self.ring,
+                            self.rng,
+                        )
+                else:
+                    y0 = self.ring.reduce(self.chan.recv())
+                    logits = self.ring.add(y0, y1)
+            return logits
+
+        return self._track_phase("online", _run)
+
+
+# --------------------------------------------------------------------- #
+# one-call convenience API
+# --------------------------------------------------------------------- #
+@dataclass
+class PredictionReport:
+    """Everything a benchmark or example wants from one joint run."""
+
+    logits_int: np.ndarray  # (classes, batch) ring elements
+    predictions: np.ndarray  # (batch,) argmax class indices
+    offline_server: PhaseStats
+    offline_client: PhaseStats
+    online_server: PhaseStats
+    online_client: PhaseStats
+    total_bytes: int
+    rounds: int
+    wall_time_s: float
+
+    @property
+    def offline_bytes(self) -> int:
+        return self.offline_client.payload_bytes
+
+    @property
+    def online_bytes(self) -> int:
+        return self.online_client.payload_bytes
+
+
+def _joint_predict(
+    server_cls,
+    client_cls,
+    model: QuantizedModel,
+    x_float: np.ndarray,
+    relu_variant: str = "oblivious",
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+    seed: int | None = 0,
+    timeout_s: float = 600.0,
+) -> PredictionReport:
+    """Shared driver for ABNN2 and the baseline predictors."""
+    x = np.atleast_2d(np.asarray(x_float, dtype=np.float64))
+    batch = x.shape[0]
+    meta = ModelMeta.from_model(model)
+    x_ring = model.encoder.encode(x.T)
+
+    def server_fn(chan: Channel):
+        server = server_cls(
+            chan, model, batch, relu_variant=relu_variant, group=group, ro=ro,
+            seed=None if seed is None else seed + 1,
+        )
+        server.offline()
+        server.online()
+        return server
+
+    def client_fn(chan: Channel):
+        client = client_cls(
+            chan, meta, batch, relu_variant=relu_variant, group=group, ro=ro,
+            seed=None if seed is None else seed + 2,
+        )
+        client.offline()
+        logits = client.online(x_ring)
+        return client, logits
+
+    result = run_protocol(server_fn, client_fn, timeout_s=timeout_s)
+    server = result.server
+    client, logits = result.client
+    ring = model.ring
+    predictions = np.argmax(ring.to_signed(logits), axis=0)
+    return PredictionReport(
+        logits_int=logits,
+        predictions=predictions,
+        offline_server=server.offline_stats,
+        offline_client=client.offline_stats,
+        online_server=server.online_stats,
+        online_client=client.online_stats,
+        total_bytes=result.total_bytes,
+        rounds=result.rounds,
+        wall_time_s=result.wall_time_s,
+    )
+
+
+def secure_predict(
+    model: QuantizedModel,
+    x_float: np.ndarray,
+    relu_variant: str = "oblivious",
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+    seed: int | None = 0,
+    timeout_s: float = 600.0,
+) -> PredictionReport:
+    """Run the complete two-party prediction on one machine (two threads).
+
+    ``x_float`` is ``(batch, features)``; the client encodes it in fixed
+    point, both phases run back to back, and the report carries the phase
+    split a deployment would see.
+    """
+    return _joint_predict(
+        Abnn2Server,
+        Abnn2Client,
+        model,
+        x_float,
+        relu_variant=relu_variant,
+        group=group,
+        ro=ro,
+        seed=seed,
+        timeout_s=timeout_s,
+    )

@@ -1,0 +1,213 @@
+"""Dot-product / matrix triplet generation over 1-out-of-N OT extension.
+
+This is the paper's Algorithm 1 plus both Section 4.1 optimizations, for
+server weight matrix ``W`` (eta-bit quantized, m x n) and client random
+matrix ``R`` (uniform in Z_{2^l}, n x o):
+
+* **OT layout.**  Every weight element contributes gamma fragments; OT
+  ``(i, j, k)`` (row, column, fragment) carries the product of fragment
+  value ``vt_k[digit]`` with the client's row ``R[j, :]``.  OTs are
+  grouped by fragment radix (mixed-radix schemes like (3,3,2) run one
+  KK13 session per distinct N) and processed in bounded chunks so memory
+  stays flat regardless of matrix size.
+* **Multi-batch (o > 1, Section 4.1.2).**  The server's choice digit is
+  identical for all ``o`` columns, so one OT carries ``o`` masked
+  products: client messages are ``{vt[t] * R[j, :] - s}`` packed to
+  ``o * l`` bits.  Per-OT communication: ``o*l*N + 2*kappa`` bits —
+  Table 1's M-Batch column.
+* **One-batch (o = 1, Section 4.1.3).**  Correlated-OT trick: the pad of
+  message 0 *is* the client's share ``s_i``, so only ``N - 1`` masked
+  messages cross the wire: ``l*(N-1) + 2*kappa`` bits per OT — Table 1's
+  1-Batch column.
+
+Outputs satisfy ``U + V = W_signed @ R  (mod 2^l)`` with ``U`` on the
+server and ``V`` on the client.  Signed weights cost nothing extra: the
+top fragment's value table interprets its digit in two's complement (the
+client enumerates message contents for every digit anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.crypto.kk13 import Kk13Receiver, Kk13Sender
+from repro.errors import ConfigError, ProtocolError
+from repro.net.channel import Channel
+from repro.quant.fragments import FragmentScheme
+from repro.utils.bits import pack_ring_words, packed_word_count, unpack_ring_words
+from repro.utils.ring import Ring
+
+_U64 = np.uint64
+
+#: Soft cap on pad-tensor words per chunk (~32 MiB of uint64).
+_CHUNK_BUDGET_WORDS = 1 << 22
+_TRIPLET_DOMAIN = 23
+
+
+@dataclass
+class TripletConfig:
+    """Shared public parameters of one triplet generation.
+
+    Both parties must construct identical configs (the model architecture
+    and scheme are public); shapes are (m, n) for W and (n, o) for R.
+    """
+
+    ring: Ring
+    scheme: FragmentScheme
+    m: int
+    n: int
+    o: int
+    mode: str = "auto"  # "auto" | "multi" | "one"
+    group: ModpGroup = DEFAULT_GROUP
+    ro: RandomOracle = field(default_factory=lambda: default_ro)
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.o) < 1:
+            raise ConfigError("matrix dimensions must be positive")
+        if self.mode not in ("auto", "multi", "one"):
+            raise ConfigError(f"unknown triplet mode {self.mode!r}")
+
+    @property
+    def resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return "one" if self.o == 1 else "multi"
+
+    @property
+    def radix_groups(self) -> list[tuple[int, list[int]]]:
+        """Fragment indices grouped by radix N, deterministic order."""
+        groups: dict[int, list[int]] = {}
+        for idx, frag in enumerate(self.scheme.fragments):
+            groups.setdefault(frag.n_values, []).append(idx)
+        return sorted(groups.items())
+
+    def chunk_size(self, n_values: int) -> int:
+        width = packed_word_count(self.o, self.ring.bits)
+        per_ot = max(1, n_values * width)
+        return max(1024, _CHUNK_BUDGET_WORDS // per_ot)
+
+    @property
+    def total_ots(self) -> int:
+        """gamma * m * n — Table 1's #OT row for both ABNN2 modes."""
+        return self.scheme.gamma * self.m * self.n
+
+
+def _flat_coords(start: int, count: int, n: int, k_count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose flat OT indices (i, j, k_pos lexicographic) of one group."""
+    flat = np.arange(start, start + count, dtype=np.int64)
+    i_idx = flat // (n * k_count)
+    rem = flat % (n * k_count)
+    return i_idx, rem // k_count, rem % k_count
+
+
+# --------------------------------------------------------------------- #
+# server: holds W, acts as OT receiver (choice = fragment digit)
+# --------------------------------------------------------------------- #
+def generate_triplets_server(
+    chan: Channel,
+    w_int: np.ndarray,
+    config: TripletConfig,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Server side; returns ``U`` of shape ``(m, o)`` ring elements."""
+    w = np.asarray(w_int, dtype=np.int64)
+    if w.shape != (config.m, config.n):
+        raise ConfigError(f"expected W of shape {(config.m, config.n)}, got {w.shape}")
+    ring = config.ring
+    digits = config.scheme.digits(w)  # (m, n, gamma)
+    mode = config.resolved_mode
+    width = packed_word_count(config.o, ring.bits) if mode == "multi" else packed_word_count(1, ring.bits)
+
+    u = ring.zeros((config.m, config.o))
+    for n_values, k_list in config.radix_groups:
+        group_seed = None if seed is None else seed + n_values
+        receiver = Kk13Receiver(
+            chan, n_values, group=config.group, ro=config.ro, seed=group_seed
+        )
+        choices = digits[:, :, k_list].reshape(-1)
+        total = choices.shape[0]
+        chunk = config.chunk_size(n_values)
+        for start in range(0, total, chunk):
+            stop = min(total, start + chunk)
+            batch = choices[start:stop]
+            i_idx, _, _ = _flat_coords(start, stop - start, config.n, len(k_list))
+            if mode == "multi":
+                got = receiver.recv_chosen(batch, width, domain=_TRIPLET_DOMAIN)
+                values = unpack_ring_words(got, ring.bits, config.o)
+            else:
+                count = stop - start
+                pad = receiver.pads(batch, width, domain=_TRIPLET_DOMAIN)
+                # Only the low l bits of the 64-bit pad are used.
+                pad_val = unpack_ring_words(pad, ring.bits, 1)[:, 0]
+                packed = chan.recv()
+                n_cipher = count * (n_values - 1)
+                if packed.shape != (packed_word_count(n_cipher, ring.bits),):
+                    raise ProtocolError(
+                        f"unexpected one-batch cipher shape {packed.shape}"
+                    )
+                cipher = unpack_ring_words(packed[None, :], ring.bits, n_cipher)
+                cipher = cipher.reshape(count, n_values - 1)
+                chosen = np.clip(batch - 1, 0, None)
+                opened = cipher[np.arange(count), chosen] ^ pad_val
+                values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
+            np.add.at(u, i_idx, ring.reduce(values))
+    return ring.reduce(u)
+
+
+# --------------------------------------------------------------------- #
+# client: holds R, acts as OT sender (N messages per OT)
+# --------------------------------------------------------------------- #
+def generate_triplets_client(
+    chan: Channel,
+    r_mat: np.ndarray,
+    config: TripletConfig,
+    rng: np.random.Generator,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Client side; returns ``V`` of shape ``(m, o)`` ring elements."""
+    r = np.asarray(r_mat, dtype=_U64)
+    if r.shape != (config.n, config.o):
+        raise ConfigError(f"expected R of shape {(config.n, config.o)}, got {r.shape}")
+    ring = config.ring
+    mode = config.resolved_mode
+
+    v = ring.zeros((config.m, config.o))
+    for n_values, k_list in config.radix_groups:
+        group_seed = None if seed is None else seed + n_values
+        sender = Kk13Sender(
+            chan, n_values, group=config.group, ro=config.ro, seed=group_seed
+        )
+        # Per-digit signed contributions for each fragment in this group.
+        value_table = ring.reduce(
+            np.stack([config.scheme.values(k) for k in k_list])
+        )  # (|K|, N)
+        total = config.m * config.n * len(k_list)
+        chunk = config.chunk_size(n_values)
+        for start in range(0, total, chunk):
+            stop = min(total, start + chunk)
+            count = stop - start
+            i_idx, j_idx, k_pos = _flat_coords(start, count, config.n, len(k_list))
+            vals = value_table[k_pos]  # (count, N)
+            r_rows = r[j_idx]  # (count, o)
+            products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
+            if mode == "multi":
+                s = ring.sample(rng, (count, config.o))
+                messages = ring.sub(products, s[:, None, :])
+                sender.send_chosen(
+                    pack_ring_words(messages, ring.bits), domain=_TRIPLET_DOMAIN
+                )
+            else:
+                width = packed_word_count(1, ring.bits)
+                pads = sender.pads(count, width, domain=_TRIPLET_DOMAIN)
+                # The low-l-bit pads, slot 0's doubling as the share s_i.
+                pad_val = unpack_ring_words(pads, ring.bits, 1)[:, :, 0]  # (count, N)
+                s = pad_val[:, 0:1]
+                messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
+                cipher = messages ^ pad_val[:, 1:]
+                chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
+            np.add.at(v, i_idx, ring.reduce(s))
+    return ring.reduce(v)

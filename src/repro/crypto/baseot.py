@@ -1,0 +1,144 @@
+"""Base 1-out-of-2 oblivious transfers (Chou–Orlandi style).
+
+OT extension bootstraps from ``kappa`` public-key OTs.  We implement the
+"simplest OT" pattern over a MODP group:
+
+* the sender publishes ``A = g^a``;
+* for OT ``i`` the receiver with choice bit ``c_i`` sends
+  ``B_i = g^{b_i} * A^{c_i}``;
+* both sides derive symmetric keys —
+  sender: ``k_{i,j} = H(i, (B_i * A^{-j})^a)``,
+  receiver: ``k_{i,c_i} = H(i, A^{b_i})`` —
+  and the sender masks its two messages with the two keys.
+
+The random-OT variants (:func:`random_send`, :func:`random_receive`)
+return the derived keys themselves, which is exactly what IKNP consumes
+as PRG seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import sha256_ro
+from repro.errors import CryptoError
+from repro.net.channel import Channel
+from repro.utils.bits import xor_bytes
+
+KEY_BYTES = 16
+_DOMAIN_BASEOT = 0x42415345  # "BASE"
+
+
+@dataclass
+class _SenderState:
+    group: ModpGroup
+    a: int
+    big_a: int
+    inv_big_a: int
+
+
+def _derive_key(group: ModpGroup, index: int, shared: int) -> bytes:
+    data = index.to_bytes(8, "little") + group.encode(shared)
+    return sha256_ro.hash_bytes(data, KEY_BYTES, domain=_DOMAIN_BASEOT)
+
+
+def random_send(
+    chan: Channel,
+    count: int,
+    group: ModpGroup = DEFAULT_GROUP,
+    randbelow=None,
+) -> list[tuple[bytes, bytes]]:
+    """Sender side of ``count`` random OTs; returns ``(k0, k1)`` per OT."""
+    if count < 1:
+        raise CryptoError("need at least one base OT")
+    a = group.sample_exponent(randbelow)
+    big_a = group.gpow(a)
+    chan.send(group.encode(big_a))
+    inv_big_a = group.invert(big_a)
+
+    blob = chan.recv()
+    if len(blob) != count * group.element_bytes:
+        raise CryptoError("unexpected base-OT response size")
+    keys = []
+    size = group.element_bytes
+    for i in range(count):
+        b_elem = group.decode(blob[i * size : (i + 1) * size])
+        shared0 = group.power(b_elem, a)
+        shared1 = group.power(group.mul(b_elem, inv_big_a), a)
+        keys.append((_derive_key(group, i, shared0), _derive_key(group, i, shared1)))
+    return keys
+
+
+def random_receive(
+    chan: Channel,
+    choices: Sequence[int],
+    group: ModpGroup = DEFAULT_GROUP,
+    randbelow=None,
+) -> list[bytes]:
+    """Receiver side of random OTs; returns ``k_{c_i}`` per OT."""
+    choices = [int(c) for c in choices]
+    if any(c not in (0, 1) for c in choices):
+        raise CryptoError("base-OT choices must be bits")
+    big_a = group.decode(chan.recv())
+
+    exponents = []
+    parts = []
+    for c in choices:
+        b = group.sample_exponent(randbelow)
+        exponents.append(b)
+        elem = group.gpow(b)
+        if c == 1:
+            elem = group.mul(elem, big_a)
+        parts.append(group.encode(elem))
+    chan.send(b"".join(parts))
+
+    return [
+        _derive_key(group, i, group.power(big_a, b)) for i, b in enumerate(exponents)
+    ]
+
+
+def send(
+    chan: Channel,
+    message_pairs: Sequence[tuple[bytes, bytes]],
+    group: ModpGroup = DEFAULT_GROUP,
+    randbelow=None,
+) -> None:
+    """Chosen-message 1-out-of-2 OT sender for fixed-length messages."""
+    if not message_pairs:
+        raise CryptoError("no messages to send")
+    length = len(message_pairs[0][0])
+    for m0, m1 in message_pairs:
+        if len(m0) != length or len(m1) != length:
+            raise CryptoError("all OT messages must share one length")
+    keys = random_send(chan, len(message_pairs), group, randbelow)
+    payload = bytearray()
+    for i, ((m0, m1), (k0, k1)) in enumerate(zip(message_pairs, keys)):
+        pad0 = sha256_ro.hash_bytes(k0, length, domain=_DOMAIN_BASEOT + 1)
+        pad1 = sha256_ro.hash_bytes(k1, length, domain=_DOMAIN_BASEOT + 1)
+        payload += xor_bytes(m0, pad0)
+        payload += xor_bytes(m1, pad1)
+    chan.send(bytes(payload))
+
+
+def receive(
+    chan: Channel,
+    choices: Sequence[int],
+    length: int,
+    group: ModpGroup = DEFAULT_GROUP,
+    randbelow=None,
+) -> list[bytes]:
+    """Chosen-message 1-out-of-2 OT receiver; returns ``m_{c_i}`` per OT."""
+    keys = random_receive(chan, choices, group, randbelow)
+    blob = chan.recv()
+    if len(blob) != 2 * length * len(choices):
+        raise CryptoError("unexpected OT ciphertext size")
+    out = []
+    for i, (c, key) in enumerate(zip(choices, keys)):
+        offset = (2 * i + int(c)) * length
+        pad = sha256_ro.hash_bytes(key, length, domain=_DOMAIN_BASEOT + 1)
+        out.append(xor_bytes(blob[offset : offset + length], pad))
+    return out

@@ -1,0 +1,51 @@
+"""Walsh–Hadamard codes for the KK13 1-out-of-N OT extension.
+
+KK13 replaces IKNP's repetition encoding of the choice bit with a code of
+minimum distance >= kappa.  For ``N <= 256`` the Walsh–Hadamard code of
+length ``2 * kappa = 256`` fits: codeword ``j`` has bit ``k`` equal to the
+parity of ``j & k``, and any two distinct codewords differ in exactly 128
+positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+CODE_LENGTH = 256
+MAX_N = 256
+
+
+def codeword_bits(n_codewords: int) -> np.ndarray:
+    """The first ``n_codewords`` WH codewords as an (N, 256) 0/1 matrix."""
+    if not 2 <= n_codewords <= MAX_N:
+        raise CryptoError(f"N must be in [2, {MAX_N}], got {n_codewords}")
+    j = np.arange(n_codewords, dtype=np.uint32)[:, None]
+    k = np.arange(CODE_LENGTH, dtype=np.uint32)[None, :]
+    anded = j & k
+    # Parity of each 8-bit-chunked popcount; values < 256 so one byte is enough.
+    pop = np.zeros_like(anded)
+    v = anded.copy()
+    while v.any():
+        pop ^= v & 1
+        v >>= 1
+    return pop.astype(np.uint8)
+
+
+def codeword_words(n_codewords: int) -> np.ndarray:
+    """Codewords packed into (N, 4) uint64 rows (LSB-first bit order)."""
+    bits = codeword_bits(n_codewords)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    return packed.view(np.uint64).reshape(n_codewords, CODE_LENGTH // 64)
+
+
+def minimum_distance(n_codewords: int) -> int:
+    """Exact minimum pairwise Hamming distance of the first N codewords."""
+    bits = codeword_bits(n_codewords)
+    best = CODE_LENGTH
+    for i in range(n_codewords):
+        diff = bits[i + 1 :] ^ bits[i]
+        if diff.size:
+            best = min(best, int(diff.sum(axis=1).min()))
+    return best

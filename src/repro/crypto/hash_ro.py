@@ -1,0 +1,100 @@
+"""Random-oracle backends shared by the OT protocols.
+
+Two interchangeable implementations of the same interface:
+
+* :data:`sha256_ro` — per-row SHA-256; the conservative reference used for
+  base OTs and in cross-checking tests.
+* :data:`siphash_ro` — numpy-vectorized fixed-key SipHash-2-4
+  (:mod:`repro.crypto.siphash`); the default for bulk OT-extension masking,
+  mirroring the fixed-key AES hashing used by production OT stacks.
+
+Both expose ``mask(rows, out_words, domain)``: hash each u64 row of
+``rows`` into ``out_words`` uint64 output words, with ``domain`` giving
+protocol-level separation (e.g. OT instance indices live in the row
+itself; the domain separates sub-protocols).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+from repro.crypto import siphash
+from repro.errors import CryptoError
+
+_U64 = np.uint64
+
+
+class RandomOracle:
+    """A deterministic hash-to-words oracle with a named backend."""
+
+    def __init__(self, name: str, mask_fn: Callable[[np.ndarray, int, int], np.ndarray]) -> None:
+        self.name = name
+        self._mask_fn = mask_fn
+
+    def mask(self, rows: np.ndarray, out_words: int, domain: int = 0) -> np.ndarray:
+        """Hash each row of u64 words to ``out_words`` u64 words.
+
+        ``rows`` has shape ``(..., words)``; the result has shape
+        ``(..., out_words)``.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=_U64))
+        if out_words < 1:
+            raise CryptoError(f"out_words must be >= 1, got {out_words}")
+        return self._mask_fn(rows, out_words, domain)
+
+    def hash_bytes(self, data: bytes, out_len: int, domain: int = 0) -> bytes:
+        """Byte-level oracle (counter-mode SHA-256 regardless of backend).
+
+        Used by the base-OT layer where throughput is irrelevant and the
+        full collision resistance of SHA-256 is the right default.
+        """
+        out = bytearray()
+        counter = 0
+        while len(out) < out_len:
+            h = hashlib.sha256()
+            h.update(domain.to_bytes(8, "little"))
+            h.update(counter.to_bytes(8, "little"))
+            h.update(data)
+            out.extend(h.digest())
+            counter += 1
+        return bytes(out[:out_len])
+
+    def __repr__(self) -> str:
+        return f"RandomOracle({self.name})"
+
+
+def _sha256_mask(rows: np.ndarray, out_words: int, domain: int) -> np.ndarray:
+    lead = rows.shape[:-1]
+    flat = rows.reshape(-1, rows.shape[-1])
+    out = np.empty((flat.shape[0], out_words), dtype=_U64)
+    dom = domain.to_bytes(8, "little")
+    for i, row in enumerate(flat):
+        stream = bytearray()
+        counter = 0
+        row_bytes = row.tobytes()
+        while len(stream) < 8 * out_words:
+            h = hashlib.sha256()
+            h.update(dom)
+            h.update(counter.to_bytes(8, "little"))
+            h.update(row_bytes)
+            stream.extend(h.digest())
+            counter += 1
+        out[i] = np.frombuffer(bytes(stream[: 8 * out_words]), dtype=_U64)
+    return out.reshape(lead + (out_words,))
+
+
+def _siphash_mask(rows: np.ndarray, out_words: int, domain: int) -> np.ndarray:
+    return siphash.prf_expand(rows, out_words, domain=domain)
+
+
+#: Reference backend: counter-mode SHA-256 per row.
+sha256_ro = RandomOracle("sha256", _sha256_mask)
+
+#: Fast backend: vectorized fixed-key SipHash-2-4 (default for OT extension).
+siphash_ro = RandomOracle("siphash24", _siphash_mask)
+
+#: The backend protocol code uses unless told otherwise.
+default_ro = siphash_ro

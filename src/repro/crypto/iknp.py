@@ -1,0 +1,249 @@
+"""IKNP 1-out-of-2 OT extension, with chosen-message and correlated variants.
+
+One public-key *setup* of ``kappa`` base OTs bootstraps an unbounded
+stream of symmetric-key OTs (Ishai–Kilian–Nissim–Petrank).  Sessions keep
+the base-OT PRG streams open, so repeated extension batches over one
+channel amortize the setup exactly like production OT stacks.
+
+Roles follow the classic description:
+
+* The **extension sender** (who inputs message pairs) samples a secret
+  ``s in {0,1}^kappa`` and plays base-OT *receiver* with choices ``s``.
+* The **extension receiver** (who inputs choice bits) plays base-OT
+  *sender*, expands both base keys per column into ``m``-bit streams
+  ``t^0_j, t^1_j``, keeps ``T = [t^0]``, and transmits
+  ``u_j = t^0_j xor t^1_j xor c``.
+* The sender reconstructs ``Q`` with rows ``q_i = t_i xor c_i * s`` and
+  masks its messages with ``H(i, q_i)`` and ``H(i, q_i xor s)``.
+
+The correlated variant (`Gilboa-style`_) transfers one ring element per
+OT: the sender learns a random ``x_i`` and the receiver ``x_i + c_i *
+delta_i (mod 2^l)`` — the primitive under SecureML's offline
+multiplication triplets and QUOTIENT's ternary products.
+
+.. _Gilboa-style: used for the baselines in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import baseot
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.crypto.prg import Prg
+from repro.errors import CryptoError
+from repro.net.channel import Channel
+from repro.utils.bits import (
+    pack_bits,
+    pack_ring_words,
+    packed_word_count,
+    unpack_bits,
+    unpack_ring_words,
+)
+from repro.utils.ring import Ring
+from repro.utils.rng import make_rng, randbelow_from_rng
+
+_U64 = np.uint64
+
+KAPPA = 128
+_KAPPA_WORDS = KAPPA // 64
+
+
+def _pack_rows_u64(bit_matrix: np.ndarray) -> np.ndarray:
+    """Pack an (m, kappa) bit matrix into (m, kappa/64) uint64 rows."""
+    m, kappa = bit_matrix.shape
+    packed = np.packbits(bit_matrix, axis=1, bitorder="little")
+    return packed.view(np.uint64).reshape(m, kappa // 64)
+
+
+def _rows_with_index(packed_rows: np.ndarray, start_index: int) -> np.ndarray:
+    """Append the global OT index as an extra hash-input word per row."""
+    m = packed_rows.shape[0]
+    idx = (np.arange(m, dtype=_U64) + _U64(start_index))[:, None]
+    return np.concatenate([packed_rows, idx], axis=1)
+
+
+class OtExtSender:
+    """Extension-sender session (the party that inputs messages)."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        kappa: int = KAPPA,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if kappa % 64 != 0:
+            raise CryptoError("kappa must be a multiple of 64")
+        self.chan = chan
+        self.kappa = kappa
+        self.group = group
+        self.ro = ro
+        self._rng = make_rng(seed)
+        self._s_bits: np.ndarray | None = None
+        self._prgs: list[Prg] | None = None
+        self._ot_index = 0
+
+    # ------------------------------------------------------------------ #
+    def _ensure_setup(self) -> None:
+        if self._s_bits is not None:
+            return
+        s = self._rng.integers(0, 2, size=self.kappa, dtype=np.uint8)
+        keys = baseot.random_receive(
+            self.chan, s.tolist(), self.group, randbelow=self._randbelow
+        )
+        self._s_bits = s
+        self._prgs = [Prg(k) for k in keys]
+        self._s_words = _pack_rows_u64(s[None, :])[0]
+
+    def _randbelow(self, bound: int) -> int:
+        return randbelow_from_rng(self._rng, bound)
+
+    def _extend(self, m: int) -> np.ndarray:
+        """Run one extension batch; returns Q packed as (m, kappa/64) words."""
+        self._ensure_setup()
+        u_blob = self.chan.recv()
+        u_cols = unpack_bits(u_blob, self.kappa * m).reshape(self.kappa, m)
+        q_cols = np.empty((self.kappa, m), dtype=np.uint8)
+        for j in range(self.kappa):
+            stream = self._prgs[j].bits(m)
+            if self._s_bits[j]:
+                stream = stream ^ u_cols[j]
+            q_cols[j] = stream
+        return _pack_rows_u64(np.ascontiguousarray(q_cols.T))
+
+    # ------------------------------------------------------------------ #
+    def send_chosen(self, messages: np.ndarray, domain: int = 1) -> None:
+        """Send chosen-message pairs.
+
+        ``messages`` has shape ``(m, 2, W)`` uint64: for OT ``i`` the
+        receiver learns row ``messages[i, c_i]`` of ``W`` words.
+        """
+        msgs = np.asarray(messages, dtype=_U64)
+        if msgs.ndim != 3 or msgs.shape[1] != 2:
+            raise CryptoError(f"expected (m, 2, W) messages, got {msgs.shape}")
+        m, _, width = msgs.shape
+        q = self._extend(m)
+        rows0 = _rows_with_index(q, self._ot_index)
+        rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
+        pad0 = self.ro.mask(rows0, width, domain)
+        pad1 = self.ro.mask(rows1, width, domain)
+        cipher = np.stack([msgs[:, 0] ^ pad0, msgs[:, 1] ^ pad1], axis=1)
+        self.chan.send(cipher)
+        self._ot_index += m
+
+    def send_correlated(self, deltas: np.ndarray, ring: Ring, domain: int = 2) -> np.ndarray:
+        """Correlated OT over Z_{2^l}.
+
+        For each OT ``i`` (and lane ``k``) the sender learns random
+        ``x[i, k]`` and the receiver ``x[i, k] + c_i * deltas[i, k]``.
+        Returns ``x`` with ``deltas``'s shape.
+        """
+        d = np.asarray(deltas, dtype=_U64)
+        squeeze = d.ndim == 1
+        if squeeze:
+            d = d[:, None]
+        if d.ndim != 2:
+            raise CryptoError(f"expected (m,) or (m, k) deltas, got shape {d.shape}")
+        m, lanes = d.shape
+        q = self._extend(m)
+        rows0 = _rows_with_index(q, self._ot_index)
+        rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
+        x = ring.reduce(self.ro.mask(rows0, lanes, domain))
+        x_s = ring.reduce(self.ro.mask(rows1, lanes, domain))
+        correction = ring.add(ring.sub(ring.reduce(d), x_s), x)
+        # Bit-pack to l bits per element: SecureML's truncated-message
+        # optimization depends on sub-64-bit corrections costing less.
+        self.chan.send(pack_ring_words(correction.reshape(1, -1), ring.bits)[0])
+        self._ot_index += m
+        return x[:, 0] if squeeze else x
+
+
+class OtExtReceiver:
+    """Extension-receiver session (the party that inputs choice bits)."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        kappa: int = KAPPA,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if kappa % 64 != 0:
+            raise CryptoError("kappa must be a multiple of 64")
+        self.chan = chan
+        self.kappa = kappa
+        self.group = group
+        self.ro = ro
+        self._rng = make_rng(seed)
+        self._prg_pairs: list[tuple[Prg, Prg]] | None = None
+        self._ot_index = 0
+
+    def _randbelow(self, bound: int) -> int:
+        return randbelow_from_rng(self._rng, bound)
+
+    def _ensure_setup(self) -> None:
+        if self._prg_pairs is not None:
+            return
+        key_pairs = baseot.random_send(self.chan, self.kappa, self.group, randbelow=self._randbelow)
+        self._prg_pairs = [(Prg(k0), Prg(k1)) for k0, k1 in key_pairs]
+
+    def _extend(self, choices: np.ndarray) -> np.ndarray:
+        """Run one extension batch; returns T packed as (m, kappa/64)."""
+        self._ensure_setup()
+        c = np.asarray(choices, dtype=np.uint8)
+        if c.ndim != 1 or not np.isin(c, (0, 1)).all():
+            raise CryptoError("choices must be a 1-D bit vector")
+        m = c.shape[0]
+        t_cols = np.empty((self.kappa, m), dtype=np.uint8)
+        u_cols = np.empty((self.kappa, m), dtype=np.uint8)
+        for j in range(self.kappa):
+            t0 = self._prg_pairs[j][0].bits(m)
+            t1 = self._prg_pairs[j][1].bits(m)
+            t_cols[j] = t0
+            u_cols[j] = t0 ^ t1 ^ c
+        self.chan.send(pack_bits(u_cols))
+        return _pack_rows_u64(np.ascontiguousarray(t_cols.T))
+
+    # ------------------------------------------------------------------ #
+    def recv_chosen(self, choices, width: int, domain: int = 1) -> np.ndarray:
+        """Receive the chosen message per OT; returns ``(m, W)`` words."""
+        c = np.asarray(choices, dtype=np.uint8)
+        t = self._extend(c)
+        cipher = self.chan.recv()
+        if cipher.shape != (c.shape[0], 2, width):
+            raise CryptoError(f"unexpected ciphertext shape {cipher.shape}")
+        pad = self.ro.mask(_rows_with_index(t, self._ot_index), width, domain)
+        picked = cipher[np.arange(c.shape[0]), c.astype(np.int64)]
+        self._ot_index += c.shape[0]
+        return picked ^ pad
+
+    def recv_correlated(
+        self, choices, lanes: int | None, ring: Ring, domain: int = 2
+    ) -> np.ndarray:
+        """Receive ``x + c * delta`` per OT/lane.
+
+        ``lanes=None`` mirrors a sender that passed 1-D deltas and returns
+        a flat ``(m,)`` array; otherwise the result is ``(m, lanes)``.
+        See :meth:`OtExtSender.send_correlated`.
+        """
+        c = np.asarray(choices, dtype=np.uint8)
+        squeeze = lanes is None
+        lanes = 1 if squeeze else lanes
+        t = self._extend(c)
+        h_t = ring.reduce(self.ro.mask(_rows_with_index(t, self._ot_index), lanes, domain))
+        n_elems = c.shape[0] * lanes
+        packed = self.chan.recv()
+        expected_words = packed_word_count(n_elems, ring.bits)
+        if packed.shape != (expected_words,):
+            raise CryptoError(f"unexpected correction shape {packed.shape}")
+        correction = unpack_ring_words(packed[None, :], ring.bits, n_elems).reshape(
+            c.shape[0], lanes
+        )
+        gated = ring.mul(correction, c.astype(_U64)[:, None])
+        out = ring.add(h_t, gated)
+        self._ot_index += c.shape[0]
+        return out[:, 0] if squeeze else out

@@ -1,0 +1,201 @@
+"""KK13 1-out-of-N OT extension (Kolesnikov–Kumaresan, CRYPTO'13).
+
+The paper's matrix-multiplication protocol is built directly on this
+primitive (its Figure 1 ideal functionality).  Structure mirrors IKNP
+(:mod:`repro.crypto.iknp`) with two changes:
+
+* the bit-matrix width grows to ``2 * kappa = 256`` columns, and
+* the receiver's row ``i`` encodes its choice ``b_i in [N]`` as the
+  Walsh–Hadamard codeword ``C(b_i)`` instead of a repetition code, so the
+  sender's rows satisfy ``q_i = t_i xor (C(b_i) & s)`` and message ``j``
+  is masked by ``H(i, q_i xor (C(j) & s))``.
+
+Both the *random-OT* form (each side learns pads; the ABNN2 one-batch
+optimization needs raw pads) and the *chosen-message* form are provided.
+Sessions amortize their 256 base OTs across arbitrarily many batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import baseot, codes
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.crypto.prg import Prg
+from repro.errors import CryptoError
+from repro.net.channel import Channel
+from repro.utils.bits import pack_bits, unpack_bits
+from repro.utils.rng import make_rng, randbelow_from_rng
+
+_U64 = np.uint64
+
+CODE_WIDTH = codes.CODE_LENGTH  # 256 columns
+_CODE_WORDS = CODE_WIDTH // 64
+
+
+def _pack_rows_u64(bit_matrix: np.ndarray) -> np.ndarray:
+    m, width = bit_matrix.shape
+    packed = np.packbits(bit_matrix, axis=1, bitorder="little")
+    return packed.view(np.uint64).reshape(m, width // 64)
+
+
+def _rows_with_index(packed_rows: np.ndarray, start_index: int) -> np.ndarray:
+    m = packed_rows.shape[0]
+    idx = (np.arange(m, dtype=_U64) + _U64(start_index))[:, None]
+    return np.concatenate([packed_rows, idx], axis=1)
+
+
+class Kk13Sender:
+    """The party holding ``N`` messages per OT (ABNN2's *client*)."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        n_values: int,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if not 2 <= n_values <= codes.MAX_N:
+            raise CryptoError(f"N must be in [2, {codes.MAX_N}], got {n_values}")
+        self.chan = chan
+        self.n_values = n_values
+        self.group = group
+        self.ro = ro
+        self._rng = make_rng(seed)
+        self._code_words = codes.codeword_words(n_values)
+        self._s_bits: np.ndarray | None = None
+        self._prgs: list[Prg] | None = None
+        self._ot_index = 0
+
+    def _randbelow(self, bound: int) -> int:
+        return randbelow_from_rng(self._rng, bound)
+
+    def _ensure_setup(self) -> None:
+        if self._s_bits is not None:
+            return
+        s = self._rng.integers(0, 2, size=CODE_WIDTH, dtype=np.uint8)
+        keys = baseot.random_receive(self.chan, s.tolist(), self.group, randbelow=self._randbelow)
+        self._s_bits = s
+        self._prgs = [Prg(k) for k in keys]
+        self._s_words = _pack_rows_u64(s[None, :])[0]
+        # (C(j) & s) pre-masked once per codeword.
+        self._coded_s = self._code_words & self._s_words[None, :]
+
+    def _extend(self, m: int) -> np.ndarray:
+        """Consume the receiver's U matrix; return Q rows (m, 4 words)."""
+        self._ensure_setup()
+        u_blob = self.chan.recv()
+        u_cols = unpack_bits(u_blob, CODE_WIDTH * m).reshape(CODE_WIDTH, m)
+        q_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
+        for j in range(CODE_WIDTH):
+            stream = self._prgs[j].bits(m)
+            if self._s_bits[j]:
+                stream = stream ^ u_cols[j]
+            q_cols[j] = stream
+        return _pack_rows_u64(np.ascontiguousarray(q_cols.T))
+
+    # ------------------------------------------------------------------ #
+    def pads(self, m: int, width: int, domain: int = 3) -> np.ndarray:
+        """Random-OT sender side: the full pad tensor ``(m, N, W)``.
+
+        ``pads[i, j]`` is the mask the receiver can recover iff its choice
+        for OT ``i`` was ``j``.  The caller XORs messages onto these pads
+        (chosen-message mode) or uses pad 0 directly as a share (the
+        ABNN2 one-batch optimization).
+        """
+        q = self._extend(m)
+        # (m, N, 4): q_i xor (C(j) & s)
+        mixed = q[:, None, :] ^ self._coded_s[None, :, :]
+        rows = np.concatenate(
+            [
+                mixed,
+                np.broadcast_to(
+                    (np.arange(m, dtype=_U64) + _U64(self._ot_index))[:, None, None],
+                    (m, self.n_values, 1),
+                ),
+            ],
+            axis=2,
+        )
+        out = self.ro.mask(rows, width, domain)
+        self._ot_index += m
+        return out
+
+    def send_chosen(self, messages: np.ndarray, domain: int = 3) -> None:
+        """Chosen-message mode: transmit all N masked messages per OT."""
+        msgs = np.asarray(messages, dtype=_U64)
+        if msgs.ndim != 3 or msgs.shape[1] != self.n_values:
+            raise CryptoError(f"expected (m, {self.n_values}, W) messages, got {msgs.shape}")
+        pads = self.pads(msgs.shape[0], msgs.shape[2], domain)
+        self.chan.send(msgs ^ pads)
+
+
+class Kk13Receiver:
+    """The party holding one choice ``b_i in [N]`` per OT (ABNN2's *server*)."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        n_values: int,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if not 2 <= n_values <= codes.MAX_N:
+            raise CryptoError(f"N must be in [2, {codes.MAX_N}], got {n_values}")
+        self.chan = chan
+        self.n_values = n_values
+        self.group = group
+        self.ro = ro
+        self._rng = make_rng(seed)
+        self._code_bits = codes.codeword_bits(n_values)
+        self._prg_pairs: list[tuple[Prg, Prg]] | None = None
+        self._ot_index = 0
+
+    def _randbelow(self, bound: int) -> int:
+        return randbelow_from_rng(self._rng, bound)
+
+    def _ensure_setup(self) -> None:
+        if self._prg_pairs is not None:
+            return
+        key_pairs = baseot.random_send(
+            self.chan, CODE_WIDTH, self.group, randbelow=self._randbelow
+        )
+        self._prg_pairs = [(Prg(k0), Prg(k1)) for k0, k1 in key_pairs]
+
+    def _extend(self, choices: np.ndarray) -> np.ndarray:
+        """Send the U matrix; return T rows (m, 4 words)."""
+        self._ensure_setup()
+        b = np.asarray(choices, dtype=np.int64)
+        if b.ndim != 1 or (b < 0).any() or (b >= self.n_values).any():
+            raise CryptoError(f"choices must lie in [0, {self.n_values})")
+        m = b.shape[0]
+        # Row i of the code matrix is C(b_i); we need its columns.
+        code_cols = self._code_bits[b].T  # (256, m)
+        t_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
+        u_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
+        for j in range(CODE_WIDTH):
+            t0 = self._prg_pairs[j][0].bits(m)
+            t1 = self._prg_pairs[j][1].bits(m)
+            t_cols[j] = t0
+            u_cols[j] = t0 ^ t1 ^ code_cols[j]
+        self.chan.send(pack_bits(u_cols))
+        return _pack_rows_u64(np.ascontiguousarray(t_cols.T))
+
+    # ------------------------------------------------------------------ #
+    def pads(self, choices, width: int, domain: int = 3) -> np.ndarray:
+        """Random-OT receiver side: the pad at the chosen slot, ``(m, W)``."""
+        t = self._extend(np.asarray(choices))
+        out = self.ro.mask(_rows_with_index(t, self._ot_index), width, domain)
+        self._ot_index += np.asarray(choices).shape[0]
+        return out
+
+    def recv_chosen(self, choices, width: int, domain: int = 3) -> np.ndarray:
+        """Chosen-message mode: recover message ``b_i`` per OT, ``(m, W)``."""
+        b = np.asarray(choices, dtype=np.int64)
+        pad = self.pads(b, width, domain)
+        cipher = self.chan.recv()
+        if cipher.shape != (b.shape[0], self.n_values, width):
+            raise CryptoError(f"unexpected ciphertext shape {cipher.shape}")
+        return cipher[np.arange(b.shape[0]), b] ^ pad

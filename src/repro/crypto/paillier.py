@@ -1,0 +1,188 @@
+"""Paillier additively homomorphic encryption (MiniONN's LHE substrate).
+
+MiniONN generates its offline dot-product triplets with SIMD-batched
+leveled HE; we reproduce the shape with textbook Paillier plus *plaintext
+packing*: several batch slots share one ciphertext, separated by enough
+headroom bits that homomorphic accumulation never carries across slots
+(scalar-times-ciphertext multiplies every slot by the same scalar, which
+is exactly the access pattern of ``W @ R`` row accumulation).
+
+Key sizes are configurable because big-integer exponentiation is the
+whole cost: 2048-bit keys are realistic, the 512/256-bit options exist so
+tests and bounded benchmark runs finish in Python (flagged insecure;
+benchmark reports also quote the analytic traffic at 2048 bits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CryptoError
+from repro.utils.rng import make_rng, randbelow_from_rng
+
+_SMALL_PRIMES = (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67)
+
+
+def _is_probable_prime(n: int, rng: np.random.Generator, rounds: int = 40) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + randbelow_from_rng(rng, n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: np.random.Generator) -> int:
+    if bits < 8:
+        raise CryptoError("prime width too small")
+    while True:
+        candidate = randbelow_from_rng(rng, 1 << bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    n: int
+    key_bits: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Wire size of one ciphertext (an element of Z_{n^2})."""
+        return (2 * self.key_bits + 7) // 8
+
+    @property
+    def plaintext_bits(self) -> int:
+        """Usable message width (conservatively one bit under |n|)."""
+        return self.n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class PaillierSecretKey:
+    public: PaillierPublicKey
+    lam: int  # lcm(p-1, q-1)
+    mu: int  # (L(g^lam mod n^2))^-1 mod n
+
+
+def keygen(key_bits: int = 2048, seed: int | None = None) -> tuple[PaillierPublicKey, PaillierSecretKey]:
+    """Generate a key pair.  ``key_bits`` is |n|; < 2048 is insecure and
+    intended only for tests/bounded benchmark runs."""
+    rng = make_rng(seed)
+    half = key_bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(key_bits - half, rng)
+        if p != q and (p * q).bit_length() == key_bits:
+            break
+    n = p * q
+    public = PaillierPublicKey(n=n, key_bits=key_bits)
+    lam = (p - 1) * (q - 1) // math.gcd(p - 1, q - 1)
+    # g = n + 1, so L(g^lam mod n^2) = lam mod n and mu = lam^-1 mod n.
+    mu = pow(lam, -1, n)
+    return public, PaillierSecretKey(public=public, lam=lam, mu=mu)
+
+
+def encrypt(pk: PaillierPublicKey, message: int, rng: np.random.Generator) -> int:
+    """Enc(m) = (1 + m*n) * r^n mod n^2 (g = n + 1 variant)."""
+    if not 0 <= message < pk.n:
+        raise CryptoError("plaintext out of range")
+    n2 = pk.n_squared
+    while True:
+        r = randbelow_from_rng(rng, pk.n)
+        if r and math.gcd(r, pk.n) == 1:
+            break
+    return ((1 + message * pk.n) % n2) * pow(r, pk.n, n2) % n2
+
+
+def decrypt(sk: PaillierSecretKey, ciphertext: int) -> int:
+    n = sk.public.n
+    n2 = sk.public.n_squared
+    if not 0 <= ciphertext < n2:
+        raise CryptoError("ciphertext out of range")
+    x = pow(ciphertext, sk.lam, n2)
+    l_value = (x - 1) // n
+    return l_value * sk.mu % n
+
+
+def add(pk: PaillierPublicKey, c1: int, c2: int) -> int:
+    """Enc(m1 + m2) from Enc(m1), Enc(m2)."""
+    return c1 * c2 % pk.n_squared
+
+def scalar_mul(pk: PaillierPublicKey, c: int, k: int) -> int:
+    """Enc(k * m) from Enc(m); ``k`` must be non-negative."""
+    if k < 0:
+        raise CryptoError("scalar must be non-negative (offset-encode signed values)")
+    return pow(c, k, pk.n_squared)
+
+
+# --------------------------------------------------------------------- #
+# slot packing (SIMD emulation)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SlotPacking:
+    """Fixed-width slot layout inside one Paillier plaintext.
+
+    ``slot_bits`` must cover the largest accumulated slot value:
+    ``value_bits + scalar_bits + ceil(log2(n_terms))`` for a W @ R row
+    accumulation.
+    """
+
+    slot_bits: int
+    slots: int
+
+    @classmethod
+    def for_accumulation(
+        cls,
+        pk: PaillierPublicKey,
+        value_bits: int,
+        scalar_bits: int,
+        n_terms: int,
+    ) -> "SlotPacking":
+        slot_bits = value_bits + scalar_bits + max(1, n_terms - 1).bit_length() + 1
+        slots = pk.plaintext_bits // slot_bits
+        if slots < 1:
+            raise CryptoError(
+                f"slot of {slot_bits} bits does not fit a {pk.plaintext_bits}-bit plaintext"
+            )
+        return cls(slot_bits=slot_bits, slots=slots)
+
+    def pack(self, values) -> int:
+        """Pack a 1-D sequence of non-negative ints into one plaintext."""
+        vals = [int(v) for v in values]
+        if len(vals) > self.slots:
+            raise CryptoError(f"cannot pack {len(vals)} values into {self.slots} slots")
+        total = 0
+        for idx, v in enumerate(vals):
+            if v < 0 or v >> self.slot_bits:
+                raise CryptoError("value exceeds slot width")
+            total |= v << (idx * self.slot_bits)
+        return total
+
+    def unpack(self, packed: int, count: int) -> list[int]:
+        """Extract ``count`` slot values as python ints (full slot width)."""
+        if count > self.slots:
+            raise CryptoError(f"cannot unpack {count} values from {self.slots} slots")
+        mask = (1 << self.slot_bits) - 1
+        return [(packed >> (i * self.slot_bits)) & mask for i in range(count)]

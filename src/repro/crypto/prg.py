@@ -1,0 +1,47 @@
+"""Pseudo-random generator: expand a short seed into long pseudorandom data.
+
+IKNP OT extension needs each 128-bit base-OT secret expanded into an
+``m``-bit column.  We use numpy's Philox counter-based generator keyed by
+the seed — a cryptographically structured ARX generator whose keying makes
+independent seeds yield independent streams, which is the property the
+protocol relies on.  (As with the SipHash oracle, DESIGN.md records this
+as the performance substitution for an AES-CTR PRG.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CryptoError
+
+
+class Prg:
+    """Deterministic stream expansion from a 128-bit seed."""
+
+    def __init__(self, seed_bytes: bytes) -> None:
+        if len(seed_bytes) != 16:
+            raise CryptoError(f"PRG seed must be 16 bytes, got {len(seed_bytes)}")
+        key = int.from_bytes(seed_bytes, "little")
+        self._gen = np.random.Generator(np.random.Philox(key=key))
+
+    def bits(self, count: int) -> np.ndarray:
+        """``count`` pseudorandom bits as a uint8 0/1 array."""
+        if count < 0:
+            raise CryptoError("bit count must be non-negative")
+        nbytes = (count + 7) // 8
+        raw = self._gen.integers(0, 256, size=nbytes, dtype=np.uint8)
+        return np.unpackbits(raw, bitorder="little")[:count]
+
+    def words(self, count: int) -> np.ndarray:
+        """``count`` pseudorandom uint64 words."""
+        if count < 0:
+            raise CryptoError("word count must be non-negative")
+        return self._gen.integers(0, 1 << 64, size=count, dtype=np.uint64)
+
+    def bytes(self, count: int) -> bytes:
+        return self._gen.integers(0, 256, size=count, dtype=np.uint8).tobytes()
+
+
+def expand_to_bits(seed_bytes: bytes, count: int) -> np.ndarray:
+    """One-shot helper: seed -> ``count`` bits."""
+    return Prg(seed_bytes).bits(count)

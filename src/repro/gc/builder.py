@@ -1,0 +1,335 @@
+"""Word-level circuit builders: adders, subtractors, muxes, ReLU templates.
+
+All word encodings are LSB-first lists of wire ids over Z_{2^l}.  Because
+operands live in the ring, the ripple-carry adder simply drops its final
+carry — this is the paper's observation that "there will be no extra cost
+required to complete the non-XOR gates corresponding to the modulo
+operation".
+
+AND-gate budgets (l-bit words):
+
+* :func:`add_words` / :func:`sub_words` — ``l - 1`` ANDs (no carry out).
+* :func:`mux_words` — ``l`` ANDs.
+* :func:`relu_template` — reconstruct + sign + mask + reshare:
+  ``3l - 2`` ANDs.
+* :func:`sign_template` — reconstruct + sign only: ``l - 1`` ANDs (stage 1
+  of the paper's optimized ReLU).
+* :func:`reconstruct_sub_template` — reconstruct and subtract the fresh
+  share: ``2l - 2`` ANDs (stage 2, run only on positive neurons).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.gc.circuit import Circuit
+
+
+def _check_same_width(x: list[int], y: list[int]) -> None:
+    if len(x) != len(y):
+        raise ConfigError(f"word width mismatch: {len(x)} vs {len(y)}")
+
+
+def add_words(circ: Circuit, x: list[int], y: list[int]) -> list[int]:
+    """Ripple-carry addition mod 2^l (carry out discarded).
+
+    Full adder per bit using the standard free-XOR-friendly form:
+    ``s = a ^ b ^ cin``, ``cout = cin ^ ((a ^ cin) & (b ^ cin))`` —
+    one AND per bit, and none at the top bit.
+    """
+    _check_same_width(x, y)
+    out = []
+    carry = None
+    for i, (a, b) in enumerate(zip(x, y)):
+        if carry is None:
+            out.append(circ.xor(a, b))
+            if len(x) > 1:
+                carry = circ.and_(a, b)
+        else:
+            axc = circ.xor(a, carry)
+            bxc = circ.xor(b, carry)
+            out.append(circ.xor(axc, b))
+            if i < len(x) - 1:
+                carry = circ.xor(circ.and_(axc, bxc), carry)
+    return out
+
+
+def neg_words(circ: Circuit, x: list[int]) -> list[int]:
+    """Two's-complement negation: ``-x = ~x + 1`` (l - 1 ANDs)."""
+    inverted = [circ.inv(w) for w in x]
+    return _add_const_one(circ, inverted)
+
+
+def _add_const_one(circ: Circuit, x: list[int]) -> list[int]:
+    """x + 1 via an increment chain (carry starts at constant 1)."""
+    out = []
+    carry = None  # None encodes "carry == 1" for the first position
+    for i, a in enumerate(x):
+        if carry is None:
+            out.append(circ.inv(a))
+            carry = a  # carry-out of (a + 1) is a itself
+        else:
+            out.append(circ.xor(a, carry))
+            if i < len(x) - 1:
+                carry = circ.and_(a, carry)
+    return out
+
+
+def sub_words(circ: Circuit, x: list[int], y: list[int]) -> list[int]:
+    """x - y mod 2^l as ``x + ~y + 1`` — a borrow-style ripple (l-1 ANDs)."""
+    _check_same_width(x, y)
+    out = []
+    carry = None  # None encodes carry-in fixed to 1 at bit 0
+    for i, (a, b_raw) in enumerate(zip(x, y)):
+        b = circ.inv(b_raw)
+        if carry is None:
+            # Bit 0 computes a + b + 1: sum = ~(a ^ b).
+            out.append(circ.inv(circ.xor(a, b)))
+            # carry-out of (a + b + 1) is majority(a, b, 1) = a | b.
+            if len(x) > 1:
+                carry = circ.or_(a, b)
+        else:
+            axc = circ.xor(a, carry)
+            bxc = circ.xor(b, carry)
+            out.append(circ.xor(axc, b))
+            if i < len(x) - 1:
+                carry = circ.xor(circ.and_(axc, bxc), carry)
+    return out
+
+
+def mux_words(circ: Circuit, sel: int, when_true: list[int], when_false: list[int]) -> list[int]:
+    """Per-bit select: ``sel ? when_true : when_false`` (l ANDs)."""
+    _check_same_width(when_true, when_false)
+    out = []
+    for t, f in zip(when_true, when_false):
+        diff = circ.xor(t, f)
+        out.append(circ.xor(circ.and_(sel, diff), f))
+    return out
+
+
+def and_broadcast(circ: Circuit, bit: int, x: list[int]) -> list[int]:
+    """AND one control bit onto every bit of a word (l ANDs)."""
+    return [circ.and_(bit, w) for w in x]
+
+
+# --------------------------------------------------------------------- #
+# ABNN2 activation templates (Algorithm 2 instantiations)
+# --------------------------------------------------------------------- #
+def relu_template(bits: int) -> Circuit:
+    """The fully-oblivious ReLU of Algorithm 2.
+
+    Inputs: evaluator (server) holds ``y0``; garbler (client) holds ``y1``
+    and its fresh output share ``z1``.  The circuit computes
+    ``z0 = max(0, y0 + y1) - z1`` and reveals it to the evaluator only.
+
+    AND count: ``(l-1)`` add + ``l`` mask + ``(l-1)`` subtract = ``3l - 2``.
+    """
+    circ = Circuit()
+    y0 = circ.evaluator_input(bits)
+    y1 = circ.garbler_input(bits)
+    z1 = circ.garbler_input(bits)
+    y = add_words(circ, y0, y1)
+    non_negative = circ.inv(y[-1])  # MSB clear <=> y >= 0 (two's complement)
+    relu = and_broadcast(circ, non_negative, y)
+    z0 = sub_words(circ, relu, z1)
+    circ.mark_outputs(z0)
+    circ.validate()
+    return circ
+
+
+def sign_template(bits: int) -> Circuit:
+    """Stage 1 of the optimized ReLU: just the comparison ``y0 > -y1``.
+
+    Outputs a single bit (1 iff ``y0 + y1 >= 0``); costs ``l - 1`` ANDs.
+    """
+    circ = Circuit()
+    y0 = circ.evaluator_input(bits)
+    y1 = circ.garbler_input(bits)
+    y = add_words(circ, y0, y1)
+    circ.mark_outputs([circ.inv(y[-1])])
+    circ.validate()
+    return circ
+
+
+def reconstruct_sub_template(bits: int) -> Circuit:
+    """Stage 2 of the optimized ReLU, run only on the positive neurons.
+
+    Computes ``z0 = (y0 + y1) - z1`` — reconstruct-and-reshare without the
+    sign mask (``2l - 2`` ANDs).
+    """
+    circ = Circuit()
+    y0 = circ.evaluator_input(bits)
+    y1 = circ.garbler_input(bits)
+    z1 = circ.garbler_input(bits)
+    y = add_words(circ, y0, y1)
+    z0 = sub_words(circ, y, z1)
+    circ.mark_outputs(z0)
+    circ.validate()
+    return circ
+
+
+def zero_wire(circ: Circuit, any_wire: int) -> int:
+    """A constant-0 wire: ``x ^ x`` is free under free-XOR."""
+    return circ.xor(any_wire, any_wire)
+
+
+def add_words_grow(circ: Circuit, x: list[int], y: list[int], zero: int) -> list[int]:
+    """Unsigned addition that *keeps* the carry: width ``max(|x|,|y|) + 1``.
+
+    Shorter operands are padded with the constant-zero wire.  Used by the
+    popcount tree, where widths grow by one per level.
+    """
+    width = max(len(x), len(y))
+    a = list(x) + [zero] * (width - len(x))
+    b = list(y) + [zero] * (width - len(y))
+    out = []
+    carry = None
+    for i in range(width):
+        if carry is None:
+            out.append(circ.xor(a[i], b[i]))
+            carry = circ.and_(a[i], b[i])
+        else:
+            axc = circ.xor(a[i], carry)
+            bxc = circ.xor(b[i], carry)
+            out.append(circ.xor(axc, b[i]))
+            carry = circ.xor(circ.and_(axc, bxc), carry)
+    out.append(carry)
+    return out
+
+
+def popcount_tree(circ: Circuit, bits: list[int]) -> list[int]:
+    """Population count of a bit list as an LSB-first word.
+
+    Balanced pairwise adder tree; ``n - popcount-ish`` AND gates total.
+    This is the workhorse of XONN-style binarized linear layers, where
+    XNOR products are free and the count is everything.
+    """
+    if not bits:
+        raise ConfigError("popcount of zero bits")
+    zero = zero_wire(circ, bits[0])
+    counts: list[list[int]] = [[b] for b in bits]
+    while len(counts) > 1:
+        merged = []
+        for i in range(0, len(counts) - 1, 2):
+            merged.append(add_words_grow(circ, counts[i], counts[i + 1], zero))
+        if len(counts) % 2:
+            merged.append(counts[-1])
+        counts = merged
+    return counts[0]
+
+
+def geq_words(circ: Circuit, x: list[int], y: list[int]) -> int:
+    """Unsigned ``x >= y`` as a single bit (the subtraction's no-borrow).
+
+    Operands are zero-padded to a common width; cost ``width`` ANDs.
+    """
+    if not x or not y:
+        raise ConfigError("empty comparison operands")
+    zero = zero_wire(circ, x[0])
+    width = max(len(x), len(y))
+    a = list(x) + [zero] * (width - len(x))
+    b = list(y) + [zero] * (width - len(y))
+    # Compute a + ~b + 1; the final carry-out is 1 iff a >= b.
+    carry = None
+    for i in range(width):
+        nb = circ.inv(b[i])
+        if carry is None:
+            # carry-out of (a + ~b + 1) at bit 0 is a | ~b
+            carry = circ.or_(a[i], nb)
+        else:
+            axc = circ.xor(a[i], carry)
+            bxc = circ.xor(nb, carry)
+            carry = circ.xor(circ.and_(axc, bxc), carry)
+    return carry
+
+
+def max_words(circ: Circuit, a: list[int], b: list[int]) -> list[int]:
+    """max(a, b) for signed ring words with |a - b| < 2^(l-1).
+
+    ``a < b`` iff the sign bit of ``a - b`` is set; one subtract plus one
+    mux: ``2l - 1`` ANDs.
+    """
+    diff = sub_words(circ, a, b)
+    return mux_words(circ, diff[-1], b, a)
+
+
+def maxpool_template(bits: int, window: int) -> Circuit:
+    """Secure max pooling over one window of additively shared values.
+
+    Inputs: evaluator holds the ``window`` share words ``y0``; garbler
+    holds ``y1`` plus its fresh output share ``z1``.  The circuit
+    reconstructs each element, takes the tree maximum, and reshapes:
+    ``z0 = max_i(y0_i + y1_i) - z1``.
+
+    AND count: ``window * (l-1)`` adders + ``(window-1) * (2l-1)`` maxes
+    + ``(l-1)`` reshare.
+    """
+    if window < 1:
+        raise ConfigError("pool window must be positive")
+    circ = Circuit()
+    y0 = [circ.evaluator_input(bits) for _ in range(window)]
+    y1 = [circ.garbler_input(bits) for _ in range(window)]
+    z1 = circ.garbler_input(bits)
+    elems = [add_words(circ, a, b) for a, b in zip(y0, y1)]
+    while len(elems) > 1:
+        paired = []
+        for i in range(0, len(elems) - 1, 2):
+            paired.append(max_words(circ, elems[i], elems[i + 1]))
+        if len(elems) % 2:
+            paired.append(elems[-1])
+        elems = paired
+    z0 = sub_words(circ, elems[0], z1)
+    circ.mark_outputs(z0)
+    circ.validate()
+    return circ
+
+
+def piecewise_sigmoid_template(bits: int) -> Circuit:
+    """SecureML's 3-piece sigmoid approximation as an Algorithm-2 circuit.
+
+    ``f(y) = 0`` for ``y < -1/2``; ``y + 1/2`` for ``|y| <= 1/2``; ``1``
+    for ``y > 1/2`` — all in the caller's fixed-point encoding, so the
+    constants ``1/2`` and ``1`` enter as (public) *garbler-supplied input
+    words* rather than baked-in wires; the garbler must feed the encoded
+    constants (see :func:`repro.core.relu.sigmoid_layer_client`).
+
+    Garbler inputs, in order: ``y1``, ``z1``, ``half``, ``one``.
+    AND count: ``6l - 4``.
+    """
+    circ = Circuit()
+    y0 = circ.evaluator_input(bits)
+    y1 = circ.garbler_input(bits)
+    z1 = circ.garbler_input(bits)
+    half = circ.garbler_input(bits)
+    one = circ.garbler_input(bits)
+    y = add_words(circ, y0, y1)
+    shifted = add_words(circ, y, half)  # y + 1/2
+    above_lo = circ.inv(shifted[-1])  # y >= -1/2
+    upper = sub_words(circ, y, half)  # y - 1/2
+    above_hi = circ.inv(upper[-1])  # y >= 1/2
+    mid = and_broadcast(circ, above_lo, shifted)  # 0 or y + 1/2
+    clamped = mux_words(circ, above_hi, one, mid)
+    z0 = sub_words(circ, clamped, z1)
+    circ.mark_outputs(z0)
+    circ.validate()
+    return circ
+
+
+def generic_activation_template(bits: int, f_builder) -> Circuit:
+    """Algorithm 2 for an arbitrary activation.
+
+    ``f_builder(circ, y_wires) -> f_wires`` implements the non-linear
+    function on reconstructed ``y``; the template wraps it with the
+    reconstruction adder and the ``- z1`` reshare.
+    """
+    circ = Circuit()
+    y0 = circ.evaluator_input(bits)
+    y1 = circ.garbler_input(bits)
+    z1 = circ.garbler_input(bits)
+    y = add_words(circ, y0, y1)
+    f_y = f_builder(circ, y)
+    if len(f_y) != bits:
+        raise ConfigError("activation builder must preserve word width")
+    z0 = sub_words(circ, f_y, z1)
+    circ.mark_outputs(z0)
+    circ.validate()
+    return circ

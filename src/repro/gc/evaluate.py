@@ -1,0 +1,82 @@
+"""Half-gates evaluation, batched over instances.
+
+The evaluator holds exactly one active label per wire per instance and
+never learns truth values except for wires whose decode bits the garbler
+disclosed.  Mirrors :mod:`repro.gc.garble` gate for gate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.errors import CryptoError, ProtocolError
+from repro.gc.circuit import Circuit, GateOp
+from repro.gc.garble import LABEL_WORDS, _hash_labels
+
+_U64 = np.uint64
+
+
+def evaluate(
+    circuit: Circuit,
+    tables: np.ndarray,
+    garbler_labels: np.ndarray,
+    evaluator_labels: np.ndarray,
+    ro: RandomOracle = default_ro,
+) -> np.ndarray:
+    """Evaluate the garbled circuit; returns active output labels.
+
+    ``garbler_labels`` / ``evaluator_labels`` are the active labels for the
+    respective input wire lists, shaped ``(n_inputs, n_inst, 2)``.  The
+    result is ``(n_outputs, n_inst, 2)``.
+    """
+    n_inst = garbler_labels.shape[1] if garbler_labels.size else evaluator_labels.shape[1]
+    if garbler_labels.shape[0] != len(circuit.garbler_inputs):
+        raise CryptoError("wrong number of garbler input labels")
+    if evaluator_labels.shape[0] != len(circuit.evaluator_inputs):
+        raise CryptoError("wrong number of evaluator input labels")
+    if tables.shape[:1] != (circuit.and_count,):
+        raise ProtocolError(
+            f"expected {circuit.and_count} garbled tables, got {tables.shape[0]}"
+        )
+
+    active = np.zeros((circuit.n_wires, n_inst, LABEL_WORDS), dtype=_U64)
+    active[circuit.garbler_inputs] = garbler_labels
+    active[circuit.evaluator_inputs] = evaluator_labels
+
+    and_idx = 0
+    for g_idx, gate in enumerate(circuit.gates):
+        if gate.op == GateOp.XOR:
+            active[gate.out] = active[gate.a] ^ active[gate.b]
+        elif gate.op == GateOp.INV:
+            active[gate.out] = active[gate.a]  # garbler flipped the decode side
+        else:
+            w_a = active[gate.a]
+            w_b = active[gate.b]
+            s_a = (w_a[:, 0] & _U64(1)).astype(bool)
+            s_b = (w_b[:, 0] & _U64(1)).astype(bool)
+            t_g = tables[and_idx, :, 0]
+            t_e = tables[and_idx, :, 1]
+            w_g = _hash_labels(w_a, 2 * g_idx, ro) ^ np.where(s_a[:, None], t_g, _U64(0))
+            w_e = _hash_labels(w_b, 2 * g_idx + 1, ro) ^ np.where(
+                s_b[:, None], t_e ^ w_a, _U64(0)
+            )
+            active[gate.out] = w_g ^ w_e
+            and_idx += 1
+
+    return active[circuit.outputs].copy()
+
+
+def decode_outputs(output_labels: np.ndarray, decode_bits: np.ndarray) -> np.ndarray:
+    """Turn active output labels into cleartext bits.
+
+    ``decode_bits`` are the garbler's permute bits for the output wires
+    (:meth:`repro.gc.garble.GarbledCircuit.output_decode_bits`).  Returns
+    an ``(n_outputs, n_inst)`` uint8 array.
+    """
+    select = (output_labels[..., 0] & _U64(1)).astype(np.uint8)
+    if select.shape != decode_bits.shape:
+        raise ProtocolError(
+            f"decode shape mismatch: {select.shape} vs {decode_bits.shape}"
+        )
+    return select ^ decode_bits

@@ -1,0 +1,122 @@
+"""Two-party garbled-circuit execution over a channel.
+
+Roles follow ABNN2's non-linear layer: the **client garbles** and the
+**server evaluates** (the server's share ``z0`` is the circuit's output,
+so the evaluator is the output party).  The server's input bits enter via
+1-out-of-2 OT on wire labels (IKNP sessions, amortized across layers).
+
+Message flow per execution:
+
+1. garbler -> evaluator: garbled tables, active labels for the garbler's
+   own inputs, and the output decode bits;
+2. IKNP chosen-message OT: evaluator obtains active labels for its input
+   bits (label pairs are the OT messages);
+3. evaluator computes locally and decodes its outputs.
+
+:class:`GcSessions` bundles the OT session so callers that run many GC
+layers over one channel pay the 128 base OTs once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.group import DEFAULT_GROUP, ModpGroup
+from repro.crypto.hash_ro import RandomOracle, default_ro
+from repro.crypto.iknp import OtExtReceiver, OtExtSender
+from repro.errors import ProtocolError
+from repro.gc.circuit import Circuit
+from repro.gc.evaluate import decode_outputs, evaluate
+from repro.gc.garble import LABEL_WORDS, garble
+from repro.net.channel import Channel
+
+_U64 = np.uint64
+_OT_DOMAIN_GC_INPUTS = 11
+
+
+class GcSessions:
+    """Per-channel lazy OT session reused across GC executions."""
+
+    def __init__(
+        self,
+        chan: Channel,
+        role: str,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+        seed: int | None = None,
+    ) -> None:
+        if role not in ("garbler", "evaluator"):
+            raise ProtocolError(f"unknown GC role {role!r}")
+        self.chan = chan
+        self.role = role
+        self.group = group
+        self.ro = ro
+        self._seed = seed
+        self._ot = None
+
+    @property
+    def ot(self):
+        if self._ot is None:
+            if self.role == "garbler":
+                self._ot = OtExtSender(self.chan, group=self.group, ro=self.ro, seed=self._seed)
+            else:
+                self._ot = OtExtReceiver(self.chan, group=self.group, ro=self.ro, seed=self._seed)
+        return self._ot
+
+
+def run_garbler(
+    chan: Channel,
+    circuit: Circuit,
+    garbler_bits: np.ndarray,
+    n_inst: int,
+    sessions: GcSessions,
+    rng: np.random.Generator,
+    ro: RandomOracle = default_ro,
+) -> None:
+    """Garble ``circuit`` and drive the garbler side of one execution.
+
+    ``garbler_bits`` has shape ``(n_garbler_inputs, n_inst)``.
+    """
+    gc = garble(circuit, n_inst, rng, ro)
+    own_labels = gc.encode(circuit.garbler_inputs, garbler_bits)
+    chan.send((gc.tables, own_labels, gc.output_decode_bits()))
+
+    n_eval_bits = len(circuit.evaluator_inputs)
+    if n_eval_bits:
+        # Label pairs for the evaluator's inputs, wire-major then instance.
+        base = gc.label0[circuit.evaluator_inputs].reshape(-1, LABEL_WORDS)
+        pairs = np.empty((base.shape[0], 2, LABEL_WORDS), dtype=_U64)
+        pairs[:, 0] = base
+        pairs[:, 1] = base ^ gc.offset
+        sessions.ot.send_chosen(pairs, domain=_OT_DOMAIN_GC_INPUTS)
+
+
+def run_evaluator(
+    chan: Channel,
+    circuit: Circuit,
+    evaluator_bits: np.ndarray,
+    n_inst: int,
+    sessions: GcSessions,
+    ro: RandomOracle = default_ro,
+) -> np.ndarray:
+    """Evaluate one garbled execution; returns ``(n_outputs, n_inst)`` bits.
+
+    ``evaluator_bits`` has shape ``(n_evaluator_inputs, n_inst)``.
+    """
+    tables, garbler_labels, decode_bits = chan.recv()
+
+    bits = np.asarray(evaluator_bits, dtype=np.uint8)
+    n_eval_bits = len(circuit.evaluator_inputs)
+    if bits.shape != (n_eval_bits, n_inst):
+        raise ProtocolError(
+            f"expected evaluator bits of shape {(n_eval_bits, n_inst)}, got {bits.shape}"
+        )
+    if n_eval_bits:
+        my_labels = sessions.ot.recv_chosen(
+            bits.reshape(-1), LABEL_WORDS, domain=_OT_DOMAIN_GC_INPUTS
+        ).reshape(n_eval_bits, n_inst, LABEL_WORDS)
+    else:
+        my_labels = np.zeros((0, n_inst, LABEL_WORDS), dtype=_U64)
+
+    out_labels = evaluate(circuit, tables, garbler_labels, my_labels, ro)
+    return decode_outputs(out_labels, decode_bits)

@@ -1,0 +1,17 @@
+"""Two-party execution substrate: channels, thread runner, network models."""
+
+from repro.net.channel import Channel, ChannelStats, make_channel_pair
+from repro.net.runner import run_protocol, ProtocolResult
+from repro.net.netsim import NetworkModel, LAN, WAN_SECUREML, WAN_QUOTIENT
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "make_channel_pair",
+    "run_protocol",
+    "ProtocolResult",
+    "NetworkModel",
+    "LAN",
+    "WAN_SECUREML",
+    "WAN_QUOTIENT",
+]

@@ -1,0 +1,152 @@
+"""In-memory duplex channels with communication accounting.
+
+A protocol party holds one :class:`Channel` endpoint and calls
+:meth:`Channel.send` / :meth:`Channel.recv` with the payload types that
+:mod:`repro.utils.serialization` supports.  Both endpoints of a pair share
+one :class:`ChannelStats`, which records, per direction:
+
+* payload bytes (what the paper's communication columns count),
+* framed bytes (payload + encoding overhead),
+* message count,
+
+plus the number of **communication rounds**: a round begins whenever the
+sending party flips, so `k` back-to-back messages from one side cost one
+round.  Round counts drive the latency term of the WAN time model.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ChannelError
+from repro.utils import serialization
+
+DEFAULT_TIMEOUT_S = 120.0
+
+
+@dataclass
+class ChannelStats:
+    """Traffic counters shared by both endpoints of a channel pair."""
+
+    bytes_sent: dict = field(default_factory=lambda: {0: 0, 1: 0})
+    framed_bytes_sent: dict = field(default_factory=lambda: {0: 0, 1: 0})
+    messages_sent: dict = field(default_factory=lambda: {0: 0, 1: 0})
+    rounds: int = 0
+    _last_sender: int | None = field(default=None, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_send(self, party: int, payload_bytes: int, framed_bytes: int) -> None:
+        with self._lock:
+            self.bytes_sent[party] += payload_bytes
+            self.framed_bytes_sent[party] += framed_bytes
+            self.messages_sent[party] += 1
+            if self._last_sender != party:
+                self.rounds += 1
+                self._last_sender = party
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes over the wire in both directions."""
+        return self.bytes_sent[0] + self.bytes_sent[1]
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages_sent[0] + self.messages_sent[1]
+
+    def snapshot(self) -> "ChannelStats":
+        """A detached copy safe to keep after the protocol finishes."""
+        with self._lock:
+            copy = ChannelStats(
+                bytes_sent=dict(self.bytes_sent),
+                framed_bytes_sent=dict(self.framed_bytes_sent),
+                messages_sent=dict(self.messages_sent),
+                rounds=self.rounds,
+            )
+        return copy
+
+    def reset(self) -> None:
+        with self._lock:
+            self.bytes_sent = {0: 0, 1: 0}
+            self.framed_bytes_sent = {0: 0, 1: 0}
+            self.messages_sent = {0: 0, 1: 0}
+            self.rounds = 0
+            self._last_sender = None
+
+
+class Channel:
+    """One endpoint of a bidirectional in-memory channel.
+
+    ``party`` is 0 for the server and 1 for the client by convention; it
+    only matters for attribution in :class:`ChannelStats`.
+    """
+
+    def __init__(
+        self,
+        party: int,
+        outbox: queue.Queue,
+        inbox: queue.Queue,
+        stats: ChannelStats,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.party = party
+        self._outbox = outbox
+        self._inbox = inbox
+        self.stats = stats
+        self.timeout_s = timeout_s
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def send(self, obj: Any) -> None:
+        """Serialize and enqueue a message for the peer."""
+        if self._closed:
+            raise ChannelError("send on closed channel")
+        data = serialization.encode(obj)
+        self.stats.record_send(self.party, serialization.payload_nbytes(obj), len(data))
+        self._outbox.put(data)
+
+    def recv(self) -> Any:
+        """Block until the peer's next message arrives and decode it."""
+        if self._closed:
+            raise ChannelError("recv on closed channel")
+        try:
+            data = self._inbox.get(timeout=self.timeout_s)
+        except queue.Empty as exc:
+            raise ChannelError(
+                f"party {self.party} timed out after {self.timeout_s}s waiting for peer"
+            ) from exc
+        if data is _CLOSE_SENTINEL:
+            raise ChannelError("peer closed the channel")
+        return serialization.decode(data)
+
+    def exchange(self, obj: Any) -> Any:
+        """Send then receive — the common symmetric protocol step."""
+        self.send(obj)
+        return self.recv()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(_CLOSE_SENTINEL)
+
+    def __repr__(self) -> str:
+        return f"Channel(party={self.party})"
+
+
+class _CloseSentinel:
+    pass
+
+
+_CLOSE_SENTINEL = _CloseSentinel()
+
+
+def make_channel_pair(timeout_s: float = DEFAULT_TIMEOUT_S) -> tuple[Channel, Channel]:
+    """Create connected (server, client) channel endpoints sharing stats."""
+    q01: queue.Queue = queue.Queue()
+    q10: queue.Queue = queue.Queue()
+    stats = ChannelStats()
+    server = Channel(0, outbox=q01, inbox=q10, stats=stats, timeout_s=timeout_s)
+    client = Channel(1, outbox=q10, inbox=q01, stats=stats, timeout_s=timeout_s)
+    return server, client

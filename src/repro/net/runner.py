@@ -1,0 +1,113 @@
+"""Run two blocking party functions as a joint protocol.
+
+Protocols in this library are written as ordinary straight-line functions
+``party_fn(channel, *args) -> result``.  :func:`run_protocol` wires a
+channel pair, runs the server on a worker thread and the client on the
+calling thread, propagates exceptions from either side, and returns both
+results together with a traffic snapshot and per-party compute times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.channel import ChannelStats, make_channel_pair
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of a joint two-party execution."""
+
+    server: Any
+    client: Any
+    stats: ChannelStats
+    server_time_s: float
+    client_time_s: float
+    wall_time_s: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.rounds
+
+
+def _raise_root_cause(box: dict) -> None:
+    """Re-raise the most informative party exception.
+
+    When one party dies, the other typically follows with a secondary
+    :class:`ChannelError` ("peer closed the channel"); prefer the original
+    failure so debugging points at the real bug.
+    """
+    from repro.errors import ChannelError
+
+    excs = [box.get("server_exc"), box.get("client_exc")]
+    excs = [e for e in excs if e is not None]
+    if not excs:
+        return
+    primary = [e for e in excs if not isinstance(e, ChannelError)]
+    raise (primary or excs)[0]
+
+
+def run_protocol(
+    server_fn: Callable,
+    client_fn: Callable,
+    server_args: tuple = (),
+    client_args: tuple = (),
+    timeout_s: float = 120.0,
+) -> ProtocolResult:
+    """Execute ``server_fn`` and ``client_fn`` against a fresh channel pair.
+
+    Each function receives its channel endpoint as first argument followed
+    by its own ``*args``.  An exception on either side is re-raised here
+    (the server's first, if both fail).
+    """
+    server_chan, client_chan = make_channel_pair(timeout_s=timeout_s)
+    box: dict[str, Any] = {}
+
+    def _server_main() -> None:
+        start = time.perf_counter()
+        try:
+            box["server"] = server_fn(server_chan, *server_args)
+        except BaseException as exc:  # noqa: BLE001 - must cross the thread
+            box["server_exc"] = exc
+            server_chan.close()
+        finally:
+            box["server_time"] = time.perf_counter() - start
+
+    wall_start = time.perf_counter()
+    thread = threading.Thread(target=_server_main, name="abnn2-server", daemon=True)
+    thread.start()
+
+    client_start = time.perf_counter()
+    try:
+        box["client"] = client_fn(client_chan, *client_args)
+    except BaseException as exc:  # noqa: BLE001
+        box["client_exc"] = exc
+        client_chan.close()
+    finally:
+        box["client_time"] = time.perf_counter() - client_start
+
+    # Grace period past the channel timeout: the server's own recv timeout
+    # must get the chance to fire first so the error is attributable.
+    thread.join(timeout=timeout_s + 10.0)
+    wall = time.perf_counter() - wall_start
+    if thread.is_alive():
+        server_chan.close()
+        raise TimeoutError(f"server thread did not finish within {timeout_s}s")
+
+    _raise_root_cause(box)
+
+    return ProtocolResult(
+        server=box["server"],
+        client=box["client"],
+        stats=server_chan.stats.snapshot(),
+        server_time_s=box["server_time"],
+        client_time_s=box["client_time"],
+        wall_time_s=wall,
+    )

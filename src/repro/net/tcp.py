@@ -1,0 +1,150 @@
+"""TCP transport: run the two parties as separate processes/machines.
+
+The in-memory channels of :mod:`repro.net.channel` are ideal for tests
+and benchmarks; a deployment wants real sockets.  :class:`TcpChannel`
+speaks a minimal length-prefixed frame protocol (8-byte little-endian
+length, then the :mod:`repro.utils.serialization` payload) and exposes
+the same ``send``/``recv``/``stats`` surface, so every protocol in this
+library runs over it unchanged:
+
+    # server process                      # client process
+    chan = listen(port=9001)              chan = connect("host", 9001)
+    server = Abnn2Server(chan, model, b)  client = Abnn2Client(chan, meta, b)
+    server.offline(); server.online()     client.offline(); client.online(x)
+
+Traffic accounting mirrors the in-memory channel (payload bytes, framed
+bytes, direction-flip rounds), so measurements agree between transports.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import ChannelError
+from repro.net.channel import ChannelStats
+from repro.utils import serialization
+
+_LEN_FMT = "<Q"
+_LEN_SIZE = 8
+
+#: Frames above this are refused (2 GiB) — catches desynchronized peers.
+MAX_FRAME_BYTES = 2 << 30
+
+
+class TcpChannel:
+    """A connected duplex channel over one TCP socket."""
+
+    def __init__(self, sock: socket.socket, party: int, timeout_s: float = 600.0) -> None:
+        self._sock = sock
+        self.party = party
+        self.stats = ChannelStats()
+        self._closed = False
+        sock.settimeout(timeout_s)
+        # Protocol messages are latency-sensitive and already batched.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------ #
+    def send(self, obj) -> None:
+        if self._closed:
+            raise ChannelError("send on closed channel")
+        data = serialization.encode(obj)
+        frame = struct.pack(_LEN_FMT, len(data)) + data
+        self.stats.record_send(
+            self.party, serialization.payload_nbytes(obj), len(frame)
+        )
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise ChannelError(f"socket send failed: {exc}") from exc
+
+    def recv(self):
+        if self._closed:
+            raise ChannelError("recv on closed channel")
+        header = self._recv_exact(_LEN_SIZE)
+        (length,) = struct.unpack(_LEN_FMT, header)
+        if length > MAX_FRAME_BYTES:
+            raise ChannelError(f"peer announced an absurd {length}-byte frame")
+        data = self._recv_exact(length)
+        obj = serialization.decode(data)
+        # Attribute the peer's traffic so both sides report totals.
+        self.stats.record_send(
+            1 - self.party, serialization.payload_nbytes(obj), len(data) + _LEN_SIZE
+        )
+        return obj
+
+    def exchange(self, obj):
+        self.send(obj)
+        return self.recv()
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except socket.timeout as exc:
+                raise ChannelError("socket recv timed out") from exc
+            except OSError as exc:
+                raise ChannelError(f"socket recv failed: {exc}") from exc
+            if not chunk:
+                raise ChannelError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "TcpChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def listen(port: int, host: str = "127.0.0.1", timeout_s: float = 600.0) -> TcpChannel:
+    """Bind, accept one peer, and return the server-side channel (party 0)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(1)
+        listener.settimeout(timeout_s)
+        try:
+            conn, _addr = listener.accept()
+        except socket.timeout as exc:
+            raise ChannelError(f"no client connected within {timeout_s}s") from exc
+    finally:
+        listener.close()
+    return TcpChannel(conn, party=0, timeout_s=timeout_s)
+
+
+def connect(
+    host: str, port: int, timeout_s: float = 600.0, retries: int = 20, retry_delay_s: float = 0.25
+) -> TcpChannel:
+    """Connect to a listening server; returns the client channel (party 1).
+
+    Retries briefly so "start both processes at once" works without
+    orchestrating startup order.
+    """
+    import time
+
+    last_error: OSError | None = None
+    for _ in range(max(1, retries)):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout_s)
+            sock.connect((host, port))
+            return TcpChannel(sock, party=1, timeout_s=timeout_s)
+        except OSError as exc:
+            last_error = exc
+            sock.close()
+            time.sleep(retry_delay_s)
+    raise ChannelError(f"could not connect to {host}:{port}: {last_error}")

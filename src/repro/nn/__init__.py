@@ -1,0 +1,28 @@
+"""Plaintext neural-network substrate: layers, training, quantization, data.
+
+This is the model zoo the secure protocols consume.  Training is a small
+numpy SGD loop; the Figure-4 architecture of the paper (784-128-128-10
+MLP with ReLU) is :func:`mnist_mlp`.
+"""
+
+from repro.nn.data import synthetic_mnist, SyntheticMnist
+from repro.nn.layers import Dense, ReLU, Flatten, Conv2d, AvgPool2d
+from repro.nn.model import Sequential, mnist_mlp
+from repro.nn.train import train_classifier, TrainConfig
+from repro.nn.quantize import QuantizedModel, quantize_model
+
+__all__ = [
+    "synthetic_mnist",
+    "SyntheticMnist",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Conv2d",
+    "AvgPool2d",
+    "Sequential",
+    "mnist_mlp",
+    "train_classifier",
+    "TrainConfig",
+    "QuantizedModel",
+    "quantize_model",
+]

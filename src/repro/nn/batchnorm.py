@@ -1,0 +1,105 @@
+"""Batch normalization for inference, and folding it into linear layers.
+
+The secure pipeline only understands linear layers and the GC
+activations, so BatchNorm must disappear before quantization.  For
+inference BN is the affine map ``y = gamma * (x - mu) / sigma + beta``,
+which folds exactly into the preceding Dense/Conv2d:
+
+    W' = W * (gamma / sigma)[:, None]        (per output row/channel)
+    b' = (b - mu) * gamma / sigma + beta
+
+:func:`fold_batchnorm` rewrites a :class:`~repro.nn.model.Sequential`
+in-place-free, returning an equivalent model with every
+``linear -> BatchNorm`` pair merged — after which ``quantize_model``
+applies unchanged.  This is the standard deployment move for QNNs (the
+paper's INT4/INT8 references assume it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import Conv2d, Dense, Layer
+from repro.nn.model import Sequential
+
+
+class BatchNorm(Layer):
+    """Inference-time batch normalization over features or channels.
+
+    Running statistics are part of the layer state (set them from
+    training or calibration data via :meth:`calibrate`).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        if num_features < 1:
+            raise ConfigError("num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def _axes(self, x: np.ndarray) -> tuple:
+        if x.ndim == 2:  # (batch, features)
+            return (0,)
+        if x.ndim == 4:  # (batch, channels, h, w)
+            return (0, 2, 3)
+        raise ConfigError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def calibrate(self, x: np.ndarray) -> None:
+        """Set running statistics from a calibration batch."""
+        axes = self._axes(np.asarray(x))
+        self.running_mean = np.asarray(x).mean(axis=axes)
+        self.running_var = np.asarray(x).var(axis=axes)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._axes(np.asarray(x))  # validates dimensionality
+        scale = self.gamma / np.sqrt(self.running_var + self.eps)
+        shift = self.beta - self.running_mean * scale
+        if x.ndim == 2:
+            return x * scale + shift
+        return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+
+def _fold_into(linear, bn: BatchNorm):
+    """Return a *new* linear layer with bn folded in."""
+    if isinstance(linear, Dense):
+        merged = Dense(linear.weight.shape[1], linear.weight.shape[0])
+        expected = linear.weight.shape[0]
+    elif isinstance(linear, Conv2d):
+        merged = Conv2d(
+            linear.in_channels, linear.out_channels, linear.kernel_size, linear.stride
+        )
+        expected = linear.out_channels
+    else:
+        raise ConfigError(
+            f"BatchNorm must follow Dense or Conv2d, found {type(linear).__name__}"
+        )
+    if bn.num_features != expected:
+        raise ConfigError(
+            f"BatchNorm over {bn.num_features} features cannot fold into a "
+            f"layer with {expected} outputs"
+        )
+    scale = bn.gamma / np.sqrt(bn.running_var + bn.eps)
+    merged.weight = linear.weight * scale[:, None]
+    merged.bias = (linear.bias - bn.running_mean) * scale + bn.beta
+    return merged
+
+
+def fold_batchnorm(model: Sequential) -> Sequential:
+    """An equivalent model with every ``linear -> BatchNorm`` pair merged."""
+    folded: list[Layer] = []
+    for layer in model.layers:
+        if isinstance(layer, BatchNorm):
+            if not folded or not isinstance(folded[-1], (Dense, Conv2d)):
+                raise ConfigError("BatchNorm must directly follow Dense or Conv2d")
+            folded[-1] = _fold_into(folded[-1], layer)
+        else:
+            folded.append(layer)
+    return Sequential(folded)

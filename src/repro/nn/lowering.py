@@ -1,0 +1,216 @@
+"""Lowering convolution onto the secure matmul: im2col on *shares*.
+
+im2col is a linear data rearrangement (gather + duplicate), so it
+commutes with additive secret sharing: ``im2col(z0) + im2col(z1) =
+im2col(z0 + z1)``.  Each party can therefore lower its share of a conv
+layer's input *locally*, after which the layer is an ordinary secure
+matrix product ``W_matrix @ im2col(Z)`` with
+
+* ``W_matrix``: ``(out_channels, in_channels * kh * kw)`` quantized weights,
+* the triplet batch dimension ``o`` becoming ``out_h * out_w * batch`` —
+  which is exactly where ABNN2's multi-batch OT reuse shines.
+
+Activations flow between layers as flat feature vectors in C order
+(``channels * height * width``, the same order ``numpy`` flattening and
+:class:`repro.nn.layers.Flatten` produce), so a Dense layer can follow a
+conv stack without extra bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Im2colSpec:
+    """Geometry of one conv layer's input lowering."""
+
+    in_channels: int
+    height: int
+    width: int
+    kernel: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.height, self.width, self.kernel, self.stride) < 1:
+            raise ConfigError("im2col geometry must be positive")
+        if self.out_h < 1 or self.out_w < 1:
+            raise ConfigError(
+                f"kernel {self.kernel} does not fit a {self.height}x{self.width} input"
+            )
+
+    @property
+    def out_h(self) -> int:
+        return (self.height - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.width - self.kernel) // self.stride + 1
+
+    @property
+    def n_positions(self) -> int:
+        """Patches per image — the per-image factor on the triplet batch."""
+        return self.out_h * self.out_w
+
+    @property
+    def in_features(self) -> int:
+        """Flat activation length entering the layer."""
+        return self.in_channels * self.height * self.width
+
+    @property
+    def patch_len(self) -> int:
+        """Rows of the lowered operand: in_channels * kh * kw."""
+        return self.in_channels * self.kernel * self.kernel
+
+    def gather_indices(self) -> np.ndarray:
+        """(patch_len, n_positions) indices into the flat activation."""
+        c_idx, ki, kj = np.meshgrid(
+            np.arange(self.in_channels),
+            np.arange(self.kernel),
+            np.arange(self.kernel),
+            indexing="ij",
+        )
+        patch_offsets = (c_idx * self.height + ki) * self.width + kj  # (c, kh, kw)
+        oi, oj = np.meshgrid(
+            np.arange(self.out_h) * self.stride,
+            np.arange(self.out_w) * self.stride,
+            indexing="ij",
+        )
+        position_offsets = oi * self.width + oj  # (out_h, out_w)
+        flat = patch_offsets.reshape(-1, 1) + position_offsets.reshape(1, -1)
+        return flat.astype(np.int64)
+
+
+def lower_shares(spec: Im2colSpec, activation: np.ndarray) -> np.ndarray:
+    """Locally lower a flat activation (share) for the conv matmul.
+
+    ``activation`` is ``(in_features, batch)``; the result is
+    ``(patch_len, n_positions * batch)`` with position-major column order
+    (all positions of image 0, then image 1, ...only transposed:
+    columns are ordered image-major so the lifted output of
+    :func:`lift_output` is contiguous per image).
+    """
+    act = np.asarray(activation)
+    if act.ndim != 2 or act.shape[0] != spec.in_features:
+        raise ConfigError(
+            f"expected ({spec.in_features}, batch) activation, got {act.shape}"
+        )
+    gathered = act[spec.gather_indices()]  # (patch_len, n_positions, batch)
+    # image-major columns: (patch_len, batch * n_positions) with each
+    # image's positions contiguous
+    return np.ascontiguousarray(
+        gathered.transpose(0, 2, 1).reshape(spec.patch_len, -1)
+    )
+
+
+def lift_output(spec: Im2colSpec, out_channels: int, product: np.ndarray) -> np.ndarray:
+    """Reshape the conv matmul output back into a flat feature vector.
+
+    ``product`` is ``(out_channels, batch * n_positions)`` (image-major
+    columns, as produced against :func:`lower_shares`); the result is
+    ``(out_channels * n_positions, batch)`` in C order (oc, oh, ow).
+    """
+    prod = np.asarray(product)
+    if prod.ndim != 2 or prod.shape[0] != out_channels or prod.shape[1] % spec.n_positions:
+        raise ConfigError(f"unexpected conv product shape {prod.shape}")
+    batch = prod.shape[1] // spec.n_positions
+    cube = prod.reshape(out_channels, batch, spec.n_positions)
+    return np.ascontiguousarray(
+        cube.transpose(0, 2, 1).reshape(out_channels * spec.n_positions, batch)
+    )
+
+
+def conv_bias_vector(spec: Im2colSpec, bias: np.ndarray) -> np.ndarray:
+    """Broadcast a per-channel bias over output positions (flat order)."""
+    b = np.asarray(bias)
+    return np.repeat(b, spec.n_positions)
+
+
+# --------------------------------------------------------------------- #
+# pooling
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PoolSpec:
+    """Geometry of a non-overlapping pooling step on flat activations.
+
+    ``kind`` is ``"avg"`` or ``"max"``.  Secure realization differs
+    sharply (which is the point of supporting both):
+
+    * **avg** with a power-of-two window is share-local — each party
+      sums its own share per window and runs SecureML truncation by
+      ``2 * log2(k)`` bits; zero communication.
+    * **max** needs a garbled-circuit comparison tree per window
+      (:mod:`repro.core.pooling`).
+    """
+
+    kind: str
+    channels: int
+    height: int
+    width: int
+    kernel: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("avg", "max"):
+            raise ConfigError(f"unknown pool kind {self.kind!r}")
+        if min(self.channels, self.height, self.width, self.kernel) < 1:
+            raise ConfigError("pool geometry must be positive")
+        if self.height % self.kernel or self.width % self.kernel:
+            raise ConfigError(
+                f"pool {self.kernel} does not tile a {self.height}x{self.width} map"
+            )
+        if self.kind == "avg" and (self.kernel & (self.kernel - 1)):
+            raise ConfigError(
+                "secure average pooling needs a power-of-two window "
+                "(division becomes share-local truncation)"
+            )
+
+    @property
+    def window(self) -> int:
+        return self.kernel * self.kernel
+
+    @property
+    def out_h(self) -> int:
+        return self.height // self.kernel
+
+    @property
+    def out_w(self) -> int:
+        return self.width // self.kernel
+
+    @property
+    def in_features(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def out_features(self) -> int:
+        return self.channels * self.out_h * self.out_w
+
+    @property
+    def avg_shift_bits(self) -> int:
+        """Division by k^2 as a right shift (avg pooling only)."""
+        return 2 * (self.kernel.bit_length() - 1)
+
+    def gather_indices(self) -> np.ndarray:
+        """(out_features, window) indices into the flat activation."""
+        k = self.kernel
+        c_idx = np.arange(self.channels)[:, None, None]
+        oi = np.arange(self.out_h)[None, :, None]
+        oj = np.arange(self.out_w)[None, None, :]
+        base = (c_idx * self.height + oi * k) * self.width + oj * k
+        base = base.reshape(-1, 1)  # (out_features, 1)
+        di, dj = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        offsets = (di * self.width + dj).reshape(1, -1)  # (1, window)
+        return (base + offsets).astype(np.int64)
+
+
+def gather_windows(spec: PoolSpec, activation: np.ndarray) -> np.ndarray:
+    """(in_features, batch) share -> (out_features, window, batch) windows."""
+    act = np.asarray(activation)
+    if act.ndim != 2 or act.shape[0] != spec.in_features:
+        raise ConfigError(
+            f"expected ({spec.in_features}, batch) activation, got {act.shape}"
+        )
+    return act[spec.gather_indices()]

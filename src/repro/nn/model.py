@@ -1,0 +1,54 @@
+"""Sequential model container and the paper's evaluation architecture."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import Dense, Layer, ReLU
+
+
+class Sequential:
+    """An ordered stack of layers with forward/backward passes."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ConfigError("a model needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class indices for a batch of inputs."""
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+    @property
+    def dense_layers(self) -> list[Dense]:
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
+
+
+def mnist_mlp(seed: int = 1, hidden: int = 128, input_dim: int = 784, classes: int = 10) -> Sequential:
+    """The paper's Figure-4 network: FC(784->128), ReLU, FC(128->128),
+    ReLU, FC(128->10)."""
+    return Sequential(
+        [
+            Dense(input_dim, hidden, seed=seed),
+            ReLU(),
+            Dense(hidden, hidden, seed=seed + 1),
+            ReLU(),
+            Dense(hidden, classes, seed=seed + 2),
+        ]
+    )

@@ -1,0 +1,91 @@
+"""Quantization-aware fine-tuning with the straight-through estimator.
+
+Post-training quantization is lossy at very low bitwidths (the ternary
+rows of EXPERIMENTS.md drop a couple of accuracy points; binary {0,1}
+collapses).  The standard recovery — used by the QNN literature the
+paper builds on (QSGD, XONN, QUOTIENT all train *for* their weight
+space) — is a short fine-tune where the forward pass sees the quantized
+weights but gradients flow to the float shadow weights as if
+quantization were the identity (the straight-through estimator, STE).
+
+:func:`finetune_quantized` wraps the plain trainer: before every forward
+pass each Dense layer's weights are replaced by their dequantized
+projection onto the fragment scheme's grid, and after the gradient step
+the float shadows are restored and updated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.train import TrainConfig, softmax_cross_entropy
+from repro.quant.fragments import FragmentScheme
+from repro.quant.schemes import quantize_for_scheme
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class QatConfig:
+    epochs: int = 3
+    batch_size: int = 64
+    learning_rate: float = 0.01
+    seed: int = 0
+
+
+def _project(weight: np.ndarray, scheme: FragmentScheme) -> np.ndarray:
+    """Quantize-dequantize: the forward-pass weights under STE."""
+    q = quantize_for_scheme(weight, scheme)
+    return q.dequantize()
+
+
+def finetune_quantized(
+    model: Sequential,
+    scheme: FragmentScheme | list[FragmentScheme],
+    x: np.ndarray,
+    y: np.ndarray,
+    config: QatConfig = QatConfig(),
+) -> list[float]:
+    """STE fine-tune of ``model``'s Dense layers toward ``scheme``'s grid.
+
+    Mutates the model's float weights; quantize afterwards with
+    :func:`repro.nn.quantize.quantize_model` as usual.  Returns per-epoch
+    losses.
+    """
+    dense_layers = [layer for layer in model.layers if isinstance(layer, Dense)]
+    if isinstance(scheme, FragmentScheme):
+        schemes = [scheme] * len(dense_layers)
+    else:
+        schemes = list(scheme)
+        if len(schemes) != len(dense_layers):
+            raise ConfigError(
+                f"got {len(schemes)} schemes for {len(dense_layers)} Dense layers"
+            )
+
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    rng = derive_rng(config.seed, "qat")
+    history = []
+    for _epoch in range(config.epochs):
+        order = rng.permutation(x.shape[0])
+        losses = []
+        for start in range(0, x.shape[0], config.batch_size):
+            idx = order[start : start + config.batch_size]
+            # Swap in projected weights for the forward/backward pass.
+            shadows = [layer.weight.copy() for layer in dense_layers]
+            for layer, layer_scheme in zip(dense_layers, schemes):
+                layer.weight[...] = _project(layer.weight, layer_scheme)
+            logits = model.forward(x[idx])
+            loss, grad = softmax_cross_entropy(logits, y[idx])
+            model.backward(grad)
+            # STE: apply the quantized-forward gradients to the shadows.
+            for layer, shadow in zip(dense_layers, shadows):
+                layer.weight[...] = shadow - config.learning_rate * layer.grad_weight
+                layer.bias -= config.learning_rate * layer.grad_bias
+            losses.append(loss)
+        history.append(float(np.mean(losses)))
+    return history

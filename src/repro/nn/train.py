@@ -1,0 +1,80 @@
+"""Minimal SGD trainer for Dense/ReLU classifiers.
+
+Softmax cross-entropy loss, mini-batch SGD with optional momentum.  This
+exists so the reproduction can *train the models it secures* instead of
+shipping magic weight files; it is not meant to compete with a real DL
+framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.model import Sequential
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 10
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    seed: int = 0
+    verbose: bool = False
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean loss and gradient w.r.t. logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def train_classifier(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig = TrainConfig(),
+) -> list[float]:
+    """Train in place; returns the per-epoch mean losses."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.shape[0] != y.shape[0]:
+        raise ConfigError("x and y disagree on the number of samples")
+    rng = derive_rng(config.seed, "trainer")
+    trainable = [layer for layer in model.layers if hasattr(layer, "gradients")]
+    velocities = {
+        id(layer): [np.zeros_like(p) for p in layer.parameters] for layer in trainable
+    }
+
+    history = []
+    for epoch in range(config.epochs):
+        order = rng.permutation(x.shape[0])
+        losses = []
+        for start in range(0, x.shape[0], config.batch_size):
+            idx = order[start : start + config.batch_size]
+            logits = model.forward(x[idx])
+            loss, grad = softmax_cross_entropy(logits, y[idx])
+            model.backward(grad)
+            for layer in trainable:
+                vel = velocities[id(layer)]
+                for p, g, v in zip(layer.parameters, layer.gradients, vel):
+                    g = g + config.weight_decay * p
+                    v *= config.momentum
+                    v -= config.learning_rate * g
+                    p += v
+            losses.append(loss)
+        history.append(float(np.mean(losses)))
+        if config.verbose:
+            print(f"epoch {epoch + 1}/{config.epochs}: loss={history[-1]:.4f}")
+    return history

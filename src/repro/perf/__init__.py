@@ -1,0 +1,25 @@
+"""Cost models and timing helpers behind the benchmark harnesses."""
+
+from repro.perf.costmodel import (
+    secureml_ot_count,
+    secureml_comm_bits,
+    abnn2_ot_count,
+    abnn2_comm_bits,
+    network_offline_comm_bits,
+    gc_relu_comm_bits,
+    minionn_comm_model_mb,
+)
+from repro.perf.timing import BenchRow, format_table, simulate_settings
+
+__all__ = [
+    "secureml_ot_count",
+    "secureml_comm_bits",
+    "abnn2_ot_count",
+    "abnn2_comm_bits",
+    "network_offline_comm_bits",
+    "gc_relu_comm_bits",
+    "minionn_comm_model_mb",
+    "BenchRow",
+    "format_table",
+    "simulate_settings",
+]

@@ -1,0 +1,127 @@
+"""Analytic communication/OT-count models (the formulas behind Table 1).
+
+These reproduce the paper's closed forms so benchmarks can print the
+predicted columns next to the measured ones:
+
+=========  =====================================  ================================
+System     #OT                                    Communication (bits)
+=========  =====================================  ================================
+SecureML   ``l(l+1)/128 * m*n*o``                 ``m*n*o * l(l+1) * (1 + k/64)``
+M-Batch    ``gamma * m * n``                      ``gamma*m*n*(o*l*N + 2k)``
+1-Batch    ``gamma * m * n``                      ``gamma*m*n*(l*(N-1) + 2k)``
+=========  =====================================  ================================
+
+Mixed-radix schemes replace the uniform ``gamma * (... N ...)`` by a sum
+over fragments with their individual ``N_i``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.quant.fragments import FragmentScheme
+
+KAPPA = 128
+
+
+# --------------------------------------------------------------------- #
+# SecureML (Table 1, column 1)
+# --------------------------------------------------------------------- #
+def secureml_ot_count(m: int, n: int, o: int, ring_bits: int, kappa: int = KAPPA) -> float:
+    """``l(l+1)/128 * m*n*o`` — OTs counted in 128-bit-packed units."""
+    return ring_bits * (ring_bits + 1) / kappa * m * n * o
+
+
+def secureml_comm_bits(m: int, n: int, o: int, ring_bits: int, kappa: int = KAPPA) -> float:
+    """``m*n*o * l(l+1) * (1 + kappa/64)`` bits."""
+    return m * n * o * ring_bits * (ring_bits + 1) * (1 + kappa / 64)
+
+
+# --------------------------------------------------------------------- #
+# ABNN2 (Table 1, columns 2-3)
+# --------------------------------------------------------------------- #
+def abnn2_ot_count(scheme: FragmentScheme, m: int, n: int) -> int:
+    """``gamma * m * n`` for either batching mode."""
+    return scheme.gamma * m * n
+
+
+def abnn2_comm_bits(
+    scheme: FragmentScheme,
+    m: int,
+    n: int,
+    o: int,
+    ring_bits: int,
+    mode: str = "auto",
+    kappa: int = KAPPA,
+) -> int:
+    """Predicted offline communication of the ABNN2 matmul protocol."""
+    if mode == "auto":
+        mode = "one" if o == 1 else "multi"
+    if mode not in ("one", "multi"):
+        raise ConfigError(f"unknown mode {mode!r}")
+    total = 0
+    for frag in scheme.fragments:
+        n_values = frag.n_values
+        if mode == "multi":
+            per_ot = o * ring_bits * n_values + 2 * kappa
+        else:
+            per_ot = ring_bits * (n_values - 1) + 2 * kappa
+        total += m * n * per_ot
+    return total
+
+
+def network_offline_comm_bits(
+    layer_shapes: list[tuple[int, int]],
+    scheme: FragmentScheme,
+    o: int,
+    ring_bits: int,
+    mode: str = "auto",
+    kappa: int = KAPPA,
+) -> int:
+    """Offline triplet traffic for a whole FC network (Table 2 predictor)."""
+    return sum(
+        abnn2_comm_bits(scheme, m, n, o, ring_bits, mode, kappa)
+        for m, n in layer_shapes
+    )
+
+
+# --------------------------------------------------------------------- #
+# online GC (the non-linear layers)
+# --------------------------------------------------------------------- #
+def gc_relu_comm_bits(ring_bits: int, n_relus: int, kappa: int = KAPPA) -> int:
+    """Rough online traffic of the oblivious ReLU layer.
+
+    Per instance: ``3l - 2`` AND gates at two kappa-bit ciphertexts each
+    (half-gates), ``2l`` garbler input labels, plus an l-bit label OT for
+    the evaluator's input (2 kappa-bit ciphertexts + kappa bits of OT-
+    extension matrix per bit) and l decode bits.
+    """
+    and_gates = 3 * ring_bits - 2
+    per_instance = (
+        and_gates * 2 * kappa  # garbled tables
+        + 2 * ring_bits * kappa  # client's y1/z1 labels
+        + ring_bits * (2 * kappa + kappa)  # label OT for y0 bits
+        + ring_bits  # decode bits
+    )
+    return n_relus * per_instance
+
+
+# --------------------------------------------------------------------- #
+# MiniONN (Table 4 anchor model)
+# --------------------------------------------------------------------- #
+# The paper reports MiniONN's measured traffic for the Figure-4 network:
+# 18.1 MB at batch 1 and 1621.3 MB at batch 128 (Enc(W) transferred
+# once).  A two-point affine model comm(o) = fixed + o * per_prediction
+# reproduces both anchors; our Paillier re-implementation undercounts
+# MiniONN's SEAL ciphertext sizes, so harnesses quote this model
+# alongside the measured bytes.
+_MINIONN_BATCH1_MB = 18.1
+_MINIONN_BATCH128_MB = 1621.3
+
+
+def minionn_comm_model_mb(batch: int) -> float:
+    """Paper-anchored MiniONN traffic for the Figure-4 MNIST network."""
+    if batch < 1:
+        raise ConfigError("batch must be positive")
+    per = (_MINIONN_BATCH128_MB - _MINIONN_BATCH1_MB) / 127.0
+    fixed = _MINIONN_BATCH1_MB - per
+    return fixed + per * batch

@@ -1,0 +1,79 @@
+"""Benchmark bookkeeping: rows, table formatting, LAN/WAN projection.
+
+The benchmark harnesses run the real protocols in-process, then project
+wall-clock times onto the paper's link profiles with
+:class:`repro.net.netsim.NetworkModel`.  :class:`BenchRow` carries one
+measurement; :func:`format_table` renders the same row/column layout the
+paper's tables use so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.netsim import LAN, WAN_QUOTIENT, WAN_SECUREML, NetworkModel
+
+MB = 1024 * 1024
+
+
+@dataclass
+class BenchRow:
+    """One benchmark measurement plus its network-projected times."""
+
+    label: str
+    compute_s: float
+    payload_bytes: int
+    rounds: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def comm_mb(self) -> float:
+        return self.payload_bytes / MB
+
+    def projected_s(self, model: NetworkModel, compute_scale: float = 1.0) -> float:
+        return model.estimate_s(
+            self.compute_s, self.payload_bytes, self.rounds, compute_scale
+        )
+
+    def as_dict(self, models: list[NetworkModel]) -> dict:
+        row = {
+            "label": self.label,
+            "compute_s": round(self.compute_s, 3),
+            "comm_MB": round(self.comm_mb, 2),
+            "rounds": self.rounds,
+        }
+        for model in models:
+            row[f"{model.name}_s"] = round(self.projected_s(model), 3)
+        row.update(self.extras)
+        return row
+
+
+def simulate_settings(table: str) -> list[NetworkModel]:
+    """The link profiles each paper table uses."""
+    if table in ("table2",):
+        return [LAN]
+    if table in ("table3",):
+        return [LAN, WAN_SECUREML]
+    if table in ("table4", "table5"):
+        return [LAN, WAN_QUOTIENT]
+    return [LAN, WAN_SECUREML, WAN_QUOTIENT]
+
+
+def format_table(rows: list[BenchRow], models: list[NetworkModel], title: str = "") -> str:
+    """Plain-text table, one line per row (stable column order)."""
+    dicts = [row.as_dict(models) for row in rows]
+    if not dicts:
+        return title
+    columns = list(dicts[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(d.get(col, ""))) for d in dicts))
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(col).ljust(widths[col]) for col in columns))
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for d in dicts:
+        lines.append("  ".join(str(d.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Quantization: fixed-point encoding, weight quantizers, fragment schemes."""
+
+from repro.quant.fixed_point import FixedPointEncoder
+from repro.quant.fragments import FragmentScheme, FragmentSpec
+from repro.quant.schemes import (
+    quantize_symmetric,
+    quantize_binary,
+    quantize_ternary,
+    QuantizedTensor,
+)
+
+__all__ = [
+    "FixedPointEncoder",
+    "FragmentScheme",
+    "FragmentSpec",
+    "quantize_symmetric",
+    "quantize_binary",
+    "quantize_ternary",
+    "QuantizedTensor",
+]

@@ -1,0 +1,5 @@
+"""Secret sharing schemes used by ABNN2 (arithmetic sharing over Z_{2^l})."""
+
+from repro.sharing.additive import share, reconstruct, AdditiveSharing
+
+__all__ = ["share", "reconstruct", "AdditiveSharing"]

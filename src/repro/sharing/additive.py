@@ -1,0 +1,64 @@
+"""Additive (arithmetic) secret sharing over Z_{2^l}.
+
+The paper's Section 2.3 scheme: ``Share(x)`` draws ``r`` uniformly and
+outputs shares ``(r, x - r mod 2^l)``; ``Reconst`` adds them back.  Shares
+support local addition, subtraction, and multiplication by public
+constants — everything except multiplication of two shared values, which
+is the job of the OT-based triplet protocols in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.ring import Ring
+
+
+def share(ring: Ring, value, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``value`` into two uniform additive shares ``(s0, s1)``.
+
+    Matches the paper's convention in Section 3: the client keeps the
+    random share ``<x>_1 = r`` and sends ``<x>_0 = x - r`` to the server.
+    """
+    x = ring.reduce(value)
+    s1 = ring.sample(rng, np.shape(x))
+    s0 = ring.sub(x, s1)
+    return s0, s1
+
+
+def reconstruct(ring: Ring, s0, s1) -> np.ndarray:
+    """Recombine two additive shares: ``x = s0 + s1 mod 2^l``."""
+    return ring.add(s0, s1)
+
+
+class AdditiveSharing:
+    """Convenience wrapper binding a :class:`Ring` to sharing operations.
+
+    Useful when a protocol passes one sharing context around instead of a
+    bare ring; all operations are local (no communication).
+    """
+
+    def __init__(self, ring: Ring) -> None:
+        self.ring = ring
+
+    def share(self, value, rng: np.random.Generator):
+        return share(self.ring, value, rng)
+
+    def reconstruct(self, s0, s1):
+        return reconstruct(self.ring, s0, s1)
+
+    def add_local(self, a, b):
+        """Both parties add their shares of two values: shares of a+b."""
+        return self.ring.add(a, b)
+
+    def sub_local(self, a, b):
+        """Shares of ``a - b`` from shares of ``a`` and ``b``."""
+        return self.ring.sub(a, b)
+
+    def mul_public(self, a, k):
+        """Shares of ``k * a`` for a public constant ``k``."""
+        return self.ring.mul(a, self.ring.reduce(k))
+
+    def add_public(self, a, k, party: int):
+        """Shares of ``a + k`` for public ``k``: only one party offsets."""
+        return self.ring.add(a, self.ring.reduce(k)) if party == 0 else self.ring.reduce(a)

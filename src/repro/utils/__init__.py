@@ -1,0 +1,6 @@
+"""Shared low-level utilities: ring arithmetic, bit packing, RNG, serialization."""
+
+from repro.utils.ring import Ring
+from repro.utils.rng import make_rng, derive_seed
+
+__all__ = ["Ring", "make_rng", "derive_seed"]

@@ -1,0 +1,139 @@
+"""Bit-level helpers: int <-> bit vectors, packing, and bit-matrix transpose.
+
+OT extension works on bit matrices (m x kappa booleans); garbled circuits
+work on per-wire bits of ring elements.  These helpers keep the bit order
+convention in one place: **index 0 is the least-significant bit**.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def int_to_bits(values, bits: int) -> np.ndarray:
+    """Decompose unsigned integers into LSB-first bit arrays.
+
+    ``values`` may be a scalar or array; the result has one extra trailing
+    axis of length ``bits`` with dtype uint8.
+    """
+    if not 1 <= bits <= 64:
+        raise ConfigError(f"bit width must be in [1, 64], got {bits}")
+    arr = np.asarray(values, dtype=np.uint64)
+    shifts = np.arange(bits, dtype=np.uint64)
+    return ((arr[..., None] >> shifts) & np.uint64(1)).astype(np.uint8)
+
+
+def bits_to_int(bits_arr) -> np.ndarray:
+    """Inverse of :func:`int_to_bits`: LSB-first bits -> uint64."""
+    arr = np.asarray(bits_arr, dtype=np.uint64)
+    if arr.shape[-1] > 64:
+        raise ConfigError(f"cannot pack {arr.shape[-1]} bits into uint64")
+    shifts = np.arange(arr.shape[-1], dtype=np.uint64)
+    return (arr << shifts).sum(axis=-1, dtype=np.uint64)
+
+
+def pack_bits(bits_arr) -> bytes:
+    """Pack a bit array (any shape, values 0/1) into bytes, row-major, LSB-first."""
+    arr = np.asarray(bits_arr, dtype=np.uint8).reshape(-1)
+    return np.packbits(arr, bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a flat uint8 array of length ``count``."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr, bitorder="little")
+    if bits.size < count:
+        raise ConfigError(f"buffer holds {bits.size} bits, need {count}")
+    return bits[:count].copy()
+
+
+def transpose_bit_matrix(mat: np.ndarray) -> np.ndarray:
+    """Transpose a 2-D 0/1 matrix (the core step of IKNP OT extension)."""
+    arr = np.asarray(mat, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ConfigError(f"expected a 2-D bit matrix, got shape {arr.shape}")
+    return np.ascontiguousarray(arr.T)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ConfigError(f"xor_bytes length mismatch: {len(a)} vs {len(b)}")
+    return (np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)).tobytes()
+
+
+def packed_word_count(count: int, bits: int) -> int:
+    """uint64 words needed to carry ``count`` ``bits``-wide ring elements."""
+    return (count * bits + 63) // 64
+
+
+def pack_ring_words(arr: np.ndarray, bits: int) -> np.ndarray:
+    """Pack ``bits``-wide ring elements into dense uint64 words.
+
+    ``arr`` has shape ``(..., count)`` of uint64 values below ``2**bits``;
+    the result has shape ``(..., packed_word_count(count, bits))``.  This
+    is what keeps OT message sizes faithful to the paper's bit counts
+    (e.g. o * l * N bits per multi-batch OT) instead of always paying
+    64 bits per element.
+    """
+    a = np.asarray(arr, dtype=np.uint64)
+    count = a.shape[-1]
+    if bits == 64:
+        return a.copy()
+    if 64 % bits == 0:
+        # Fast path: whole elements per word (l = 32, 16, 8, ...).
+        per_word = 64 // bits
+        pad = (-count) % per_word
+        if pad:
+            padded = np.zeros(a.shape[:-1] + (count + pad,), dtype=np.uint64)
+            padded[..., :count] = a
+            a = padded
+        grouped = a.reshape(a.shape[:-1] + (-1, per_word))
+        shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(bits))
+        return (grouped << shifts).sum(axis=-1, dtype=np.uint64)
+    # Generic path through a bit matrix.
+    lead = a.shape[:-1]
+    flat = a.reshape(-1, count)
+    bit_rows = int_to_bits(flat, bits).reshape(flat.shape[0], count * bits)
+    n_words = packed_word_count(count, bits)
+    pad = n_words * 64 - count * bits
+    if pad:
+        bit_rows = np.concatenate(
+            [bit_rows, np.zeros((flat.shape[0], pad), dtype=np.uint8)], axis=1
+        )
+    packed = np.packbits(bit_rows, axis=1, bitorder="little")
+    return packed.view(np.uint64).reshape(lead + (n_words,))
+
+
+def unpack_ring_words(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_ring_words`; returns ``(..., count)`` uint64."""
+    p = np.asarray(packed, dtype=np.uint64)
+    if p.shape[-1] != packed_word_count(count, bits):
+        raise ConfigError(
+            f"expected {packed_word_count(count, bits)} words for "
+            f"{count}x{bits}-bit elements, got {p.shape[-1]}"
+        )
+    if bits == 64:
+        return p[..., :count].copy()
+    if 64 % bits == 0:
+        per_word = 64 // bits
+        shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(bits))
+        mask = np.uint64((1 << bits) - 1)
+        expanded = (p[..., None] >> shifts) & mask
+        return expanded.reshape(p.shape[:-1] + (-1,))[..., :count].copy()
+    lead = p.shape[:-1]
+    flat = p.reshape(-1, p.shape[-1])
+    bit_rows = np.unpackbits(flat.view(np.uint8), axis=1, bitorder="little")
+    elems = bit_rows[:, : count * bits].reshape(-1, count, bits)
+    return bits_to_int(elems).reshape(lead + (count,))
+
+
+def bytes_to_u64_rows(data: bytes, row_words: int) -> np.ndarray:
+    """View a byte buffer as a (rows, row_words) uint64 matrix."""
+    if len(data) % (8 * row_words) != 0:
+        raise ConfigError(
+            f"buffer of {len(data)} bytes is not a multiple of {8 * row_words}-byte rows"
+        )
+    return np.frombuffer(data, dtype=np.uint64).reshape(-1, row_words).copy()

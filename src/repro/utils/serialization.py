@@ -1,0 +1,113 @@
+"""Compact, dependency-free message encoding for protocol traffic.
+
+Channel messages are the unit of communication accounting, so the encoding
+must be tight and predictable: a one-byte tag, then a fixed header, then
+raw little-endian payload bytes.  Supported payloads are ``bytes``,
+``numpy`` integer arrays, and python ints; tuples of those are encoded as
+a length-prefixed sequence.
+
+The byte counts reported in EXPERIMENTS.md use the *payload* size (what a
+wire protocol would actually carry), which :func:`payload_nbytes` computes
+without serializing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+_TAG_BYTES = 0
+_TAG_ARRAY = 1
+_TAG_INT = 2
+_TAG_TUPLE = 3
+
+_DTYPES = {
+    0: np.dtype(np.uint8),
+    1: np.dtype(np.uint16),
+    2: np.dtype(np.uint32),
+    3: np.dtype(np.uint64),
+    4: np.dtype(np.int64),
+    5: np.dtype(np.int32),
+    6: np.dtype(np.bool_),
+}
+_DTYPE_CODES = {dt: code for code, dt in _DTYPES.items()}
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize a supported object to bytes."""
+    if isinstance(obj, (bytes, bytearray)):
+        return struct.pack("<BQ", _TAG_BYTES, len(obj)) + bytes(obj)
+    if isinstance(obj, np.ndarray):
+        dt = obj.dtype
+        if dt not in _DTYPE_CODES:
+            raise ProtocolError(f"unsupported array dtype {dt}")
+        shape = obj.shape
+        head = struct.pack("<BBB", _TAG_ARRAY, _DTYPE_CODES[dt], len(shape))
+        head += struct.pack(f"<{len(shape)}Q", *shape)
+        return head + np.ascontiguousarray(obj).tobytes()
+    if isinstance(obj, (int, np.integer)):
+        return struct.pack("<Bq", _TAG_INT, int(obj))
+    if isinstance(obj, tuple):
+        body = b"".join(encode(item) for item in obj)
+        return struct.pack("<BI", _TAG_TUPLE, len(obj)) + body
+    raise ProtocolError(f"cannot encode object of type {type(obj).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`."""
+    obj, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise ProtocolError(f"trailing {len(data) - offset} bytes after message")
+    return obj
+
+
+def _decode_at(data: bytes, offset: int):
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_BYTES:
+        (length,) = struct.unpack_from("<Q", data, offset)
+        offset += 8
+        return data[offset : offset + length], offset + length
+    if tag == _TAG_ARRAY:
+        code, ndim = struct.unpack_from("<BB", data, offset)
+        offset += 2
+        shape = struct.unpack_from(f"<{ndim}Q", data, offset)
+        offset += 8 * ndim
+        dt = _DTYPES[code]
+        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        nbytes = count * dt.itemsize
+        arr = np.frombuffer(data, dtype=dt, count=count, offset=offset).reshape(shape)
+        return arr.copy(), offset + nbytes
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from("<q", data, offset)
+        return value, offset + 8
+    if tag == _TAG_TUPLE:
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    raise ProtocolError(f"unknown message tag {tag}")
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of the raw payload, excluding framing/tag overhead.
+
+    This is the figure the paper's communication columns report: element
+    bytes for arrays, string length for bytes, 8 for a scalar.
+    """
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (int, np.integer)):
+        return 8
+    if isinstance(obj, tuple):
+        return sum(payload_nbytes(item) for item in obj)
+    raise ProtocolError(f"cannot size object of type {type(obj).__name__}")

@@ -1,0 +1,51 @@
+"""Shared fixtures: fast insecure group, seeded RNGs, a small trained model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.group import MODP_TEST
+from repro.nn.data import synthetic_mnist
+from repro.nn.model import mnist_mlp
+from repro.nn.train import TrainConfig, train_classifier
+from repro.utils.ring import Ring
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ring32():
+    return Ring(32)
+
+
+@pytest.fixture
+def ring64():
+    return Ring(64)
+
+
+@pytest.fixture
+def test_group():
+    """256-bit MODP group: insecure, but makes base OTs fast in tests."""
+    return MODP_TEST
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    return synthetic_mnist(n_train=600, n_test=150, seed=99)
+
+
+@pytest.fixture(scope="session")
+def trained_model(small_dataset):
+    """A small trained MLP shared across protocol tests (session scope)."""
+    model = mnist_mlp(seed=7, hidden=32, input_dim=784)
+    train_classifier(
+        model,
+        small_dataset.train_x,
+        small_dataset.train_y,
+        TrainConfig(epochs=10, seed=1),
+    )
+    return model

@@ -1,0 +1,129 @@
+"""BatchNorm folding and quantization-aware fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.batchnorm import BatchNorm, fold_batchnorm
+from repro.nn.layers import Conv2d, Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.qat import QatConfig, finetune_quantized
+from repro.nn.quantize import quantize_model
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+class TestBatchNorm:
+    def test_forward_normalizes(self, rng):
+        bn = BatchNorm(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(500, 4))
+        bn.calibrate(x)
+        out = bn.forward(x)
+        assert np.abs(out.mean(axis=0)).max() < 0.05
+        assert np.abs(out.std(axis=0) - 1).max() < 0.05
+
+    def test_4d_channels(self, rng):
+        bn = BatchNorm(3)
+        x = rng.normal(size=(8, 3, 5, 5))
+        bn.calibrate(x)
+        assert bn.forward(x).shape == x.shape
+
+    def test_bad_ndim(self):
+        with pytest.raises(ConfigError):
+            BatchNorm(2).forward(np.zeros((2, 2, 2)))
+
+    def test_invalid_features(self):
+        with pytest.raises(ConfigError):
+            BatchNorm(0)
+
+
+class TestFolding:
+    def test_dense_fold_equivalence(self, rng):
+        dense = Dense(6, 4, seed=1)
+        bn = BatchNorm(4)
+        bn.gamma = rng.uniform(0.5, 2.0, size=4)
+        bn.beta = rng.normal(size=4)
+        bn.running_mean = rng.normal(size=4)
+        bn.running_var = rng.uniform(0.5, 2.0, size=4)
+        model = Sequential([dense, bn, ReLU()])
+        folded = fold_batchnorm(model)
+        assert len(folded.layers) == 2
+        x = rng.normal(size=(5, 6))
+        assert np.allclose(folded.forward(x), model.forward(x))
+
+    def test_conv_fold_equivalence(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, seed=2)
+        bn = BatchNorm(3)
+        bn.gamma = rng.uniform(0.5, 2.0, size=3)
+        bn.running_mean = rng.normal(size=3)
+        bn.running_var = rng.uniform(0.5, 2.0, size=3)
+        model = Sequential([conv, bn])
+        folded = fold_batchnorm(model)
+        x = rng.normal(size=(2, 2, 6, 6))
+        assert np.allclose(folded.forward(x), model.forward(x))
+
+    def test_fold_then_quantize(self, rng):
+        model = Sequential([Dense(10, 8, seed=1), BatchNorm(8), ReLU(), Dense(8, 3, seed=2)])
+        model.layers[1].calibrate(rng.normal(size=(100, 8)))
+        folded = fold_batchnorm(model)
+        qm = quantize_model(folded, FragmentScheme.from_bits((2, 2, 2, 2)), Ring(32), frac_bits=8)
+        x = rng.uniform(0, 1, size=(4, 10))
+        assert np.abs(qm.logits_float(x) - model.forward(x)).max() < 0.3
+
+    def test_bn_without_linear_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_batchnorm(Sequential([ReLU(), BatchNorm(3)]))
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_batchnorm(Sequential([Dense(4, 3), BatchNorm(7)]))
+
+
+class TestQat:
+    def test_recovers_low_bitwidth_accuracy(self, small_dataset):
+        """STE fine-tuning must improve ternary accuracy over plain PTQ."""
+        from repro.nn.model import mnist_mlp
+        from repro.nn.train import TrainConfig, train_classifier
+
+        model = mnist_mlp(seed=21, hidden=24)
+        train_classifier(
+            model, small_dataset.train_x, small_dataset.train_y,
+            TrainConfig(epochs=5, seed=2),
+        )
+        ring = Ring(32)
+        scheme = FragmentScheme.ternary()
+        before = quantize_model(model, scheme, ring, frac_bits=6).accuracy(
+            small_dataset.test_x, small_dataset.test_y
+        )
+        finetune_quantized(
+            model, scheme, small_dataset.train_x, small_dataset.train_y,
+            QatConfig(epochs=4, learning_rate=0.02, seed=3),
+        )
+        after = quantize_model(model, scheme, ring, frac_bits=6).accuracy(
+            small_dataset.test_x, small_dataset.test_y
+        )
+        assert after >= before
+
+    def test_loss_decreases(self, small_dataset):
+        from repro.nn.model import mnist_mlp
+
+        model = mnist_mlp(seed=22, hidden=16)
+        history = finetune_quantized(
+            model,
+            FragmentScheme.from_bits((2, 1)),
+            small_dataset.train_x[:300],
+            small_dataset.train_y[:300],
+            QatConfig(epochs=3, seed=1),
+        )
+        assert history[-1] < history[0]
+
+    def test_scheme_count_checked(self, small_dataset):
+        from repro.nn.model import mnist_mlp
+
+        with pytest.raises(ConfigError):
+            finetune_quantized(
+                mnist_mlp(seed=1, hidden=8),
+                [FragmentScheme.ternary()],
+                small_dataset.train_x[:10],
+                small_dataset.train_y[:10],
+            )

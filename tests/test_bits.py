@@ -1,0 +1,114 @@
+"""Bit packing utilities: int<->bits, byte packing, ring-element packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils.bits import (
+    bits_to_int,
+    int_to_bits,
+    pack_bits,
+    pack_ring_words,
+    packed_word_count,
+    transpose_bit_matrix,
+    unpack_bits,
+    unpack_ring_words,
+    xor_bytes,
+)
+
+
+class TestIntBits:
+    def test_lsb_first(self):
+        bits = int_to_bits(np.uint64(6), 4)
+        assert bits.tolist() == [0, 1, 1, 0]
+
+    def test_roundtrip_array(self, rng):
+        values = rng.integers(0, 1 << 32, size=(3, 5), dtype=np.uint64)
+        assert (bits_to_int(int_to_bits(values, 32)) == values).all()
+
+    @pytest.mark.parametrize("bits", [0, 65])
+    def test_invalid_width(self, bits):
+        with pytest.raises(ConfigError):
+            int_to_bits(np.uint64(1), bits)
+
+    def test_bits_to_int_width_check(self):
+        with pytest.raises(ConfigError):
+            bits_to_int(np.zeros((1, 65), dtype=np.uint8))
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, value):
+        assert int(bits_to_int(int_to_bits(np.uint64(value), 64))) == value
+
+
+class TestBytePacking:
+    def test_pack_unpack_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=123, dtype=np.uint8)
+        assert (unpack_bits(pack_bits(bits), 123) == bits).all()
+
+    def test_unpack_too_short(self):
+        with pytest.raises(ConfigError):
+            unpack_bits(b"\x00", 9)
+
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_xor_bytes_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            xor_bytes(b"\x00", b"\x00\x01")
+
+    def test_transpose(self):
+        mat = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert (transpose_bit_matrix(mat) == mat.T).all()
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(ConfigError):
+            transpose_bit_matrix(np.zeros(4, dtype=np.uint8))
+
+
+class TestRingPacking:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64])
+    def test_fast_path_roundtrip(self, bits, rng):
+        count = 13
+        vals = rng.integers(0, 1 << min(bits, 63), size=(4, count), dtype=np.uint64)
+        if bits < 64:
+            vals &= np.uint64((1 << bits) - 1)
+        packed = pack_ring_words(vals, bits)
+        assert packed.shape == (4, packed_word_count(count, bits))
+        assert (unpack_ring_words(packed, bits, count) == vals).all()
+
+    @pytest.mark.parametrize("bits", [3, 17, 33, 63])
+    def test_generic_path_roundtrip(self, bits, rng):
+        count = 9
+        vals = rng.integers(0, 1 << bits, size=(2, 3, count), dtype=np.uint64)
+        packed = pack_ring_words(vals, bits)
+        assert (unpack_ring_words(packed, bits, count) == vals).all()
+
+    def test_word_counts(self):
+        assert packed_word_count(128, 32) == 64
+        assert packed_word_count(1, 32) == 1
+        assert packed_word_count(3, 32) == 2
+        assert packed_word_count(5, 13) == 2
+
+    def test_density_is_exact_for_aligned_sizes(self, rng):
+        # 128 x 32-bit elements must occupy exactly 64 words (no padding):
+        # this is what keeps OT message traffic faithful to the paper.
+        vals = rng.integers(0, 1 << 32, size=(1, 128), dtype=np.uint64)
+        assert pack_ring_words(vals, 32).shape == (1, 64)
+
+    def test_unpack_wrong_word_count(self):
+        with pytest.raises(ConfigError):
+            unpack_ring_words(np.zeros((1, 3), dtype=np.uint64), 32, 128)
+
+    @given(
+        bits=st.integers(1, 64),
+        values=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, bits, values):
+        mask = (1 << bits) - 1
+        vals = np.array([v & mask for v in values], dtype=np.uint64)[None, :]
+        packed = pack_ring_words(vals, bits)
+        assert (unpack_ring_words(packed, bits, vals.shape[1]) == vals).all()

@@ -1,0 +1,155 @@
+"""Channels, traffic accounting, and the two-party thread runner."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.net.channel import make_channel_pair
+from repro.net.runner import run_protocol
+
+
+class TestChannel:
+    def test_send_recv_both_directions(self):
+        server, client = make_channel_pair()
+        server.send(b"from-server")
+        client.send(b"from-client")
+        assert client.recv() == b"from-server"
+        assert server.recv() == b"from-client"
+
+    def test_exchange(self):
+        server, client = make_channel_pair()
+
+        def _client():
+            assert client.recv() == 1
+            client.send(2)
+
+        thread = threading.Thread(target=_client)
+        thread.start()
+        assert server.exchange(1) == 2
+        thread.join()
+
+    def test_recv_timeout(self):
+        server, _client = make_channel_pair(timeout_s=0.05)
+        with pytest.raises(ChannelError, match="timed out"):
+            server.recv()
+
+    def test_closed_channel(self):
+        server, client = make_channel_pair()
+        server.close()
+        with pytest.raises(ChannelError):
+            server.send(b"x")
+        with pytest.raises(ChannelError, match="peer closed"):
+            client.recv()
+
+    def test_arrays_roundtrip(self, rng):
+        server, client = make_channel_pair()
+        arr = rng.integers(0, 100, size=(4, 4), dtype=np.uint64)
+        server.send(arr)
+        assert (client.recv() == arr).all()
+
+
+class TestStats:
+    def test_payload_byte_attribution(self):
+        server, client = make_channel_pair()
+        server.send(b"12345678")  # 8 payload bytes from party 0
+        client.recv()
+        client.send(b"12")  # 2 payload bytes from party 1
+        server.recv()
+        stats = server.stats
+        assert stats.bytes_sent[0] == 8
+        assert stats.bytes_sent[1] == 2
+        assert stats.total_bytes == 10
+        assert stats.total_messages == 2
+
+    def test_framed_bytes_exceed_payload(self):
+        server, client = make_channel_pair()
+        server.send(b"abc")
+        client.recv()
+        assert server.stats.framed_bytes_sent[0] > server.stats.bytes_sent[0]
+
+    def test_rounds_count_direction_flips(self):
+        server, client = make_channel_pair()
+        # s, s, c, s  -> 3 direction flips/rounds
+        server.send(1)
+        server.send(2)
+        client.recv(), client.recv()
+        client.send(3)
+        server.recv()
+        server.send(4)
+        client.recv()
+        assert server.stats.rounds == 3
+
+    def test_snapshot_detached(self):
+        server, client = make_channel_pair()
+        server.send(1)
+        client.recv()
+        snap = server.stats.snapshot()
+        server.send(2)
+        client.recv()
+        assert snap.total_messages == 1
+        assert server.stats.total_messages == 2
+
+    def test_reset(self):
+        server, client = make_channel_pair()
+        server.send(1)
+        client.recv()
+        server.stats.reset()
+        assert server.stats.total_bytes == 0
+        assert server.stats.rounds == 0
+
+
+class TestRunner:
+    def test_results_and_timing(self):
+        def server_fn(chan):
+            chan.send(10)
+            return "server-result"
+
+        def client_fn(chan):
+            return chan.recv() + 1
+
+        result = run_protocol(server_fn, client_fn)
+        assert result.server == "server-result"
+        assert result.client == 11
+        assert result.server_time_s >= 0
+        assert result.wall_time_s > 0
+        assert result.rounds == 1
+
+    def test_extra_args(self):
+        result = run_protocol(
+            lambda chan, x: x * 2,
+            lambda chan, y, z: y + z,
+            server_args=(5,),
+            client_args=(1, 2),
+        )
+        assert result.server == 10
+        assert result.client == 3
+
+    def test_server_exception_propagates(self):
+        def bad_server(chan):
+            raise ValueError("server boom")
+
+        def client_fn(chan):
+            try:
+                chan.recv()
+            except ChannelError:
+                pass
+
+        with pytest.raises(ValueError, match="server boom"):
+            run_protocol(bad_server, client_fn)
+
+    def test_client_exception_preferred_over_secondary_channel_error(self):
+        # The client dies first; the server's "peer closed" must not mask it.
+        def server_fn(chan):
+            chan.recv()
+
+        def bad_client(chan):
+            raise RuntimeError("client boom")
+
+        with pytest.raises(RuntimeError, match="client boom"):
+            run_protocol(server_fn, bad_client, timeout_s=5)
+
+    def test_stats_snapshot_returned(self):
+        result = run_protocol(lambda c: c.send(b"xy"), lambda c: c.recv())
+        assert result.total_bytes == 2

@@ -1,0 +1,118 @@
+"""CLI: argument parsing, cost planner, train/meta, TCP serve/predict."""
+
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cost_args(self):
+        args = build_parser().parse_args(["cost", "--eta", "6"])
+        assert args.eta == 6 and args.batch == 1
+
+    def test_predict_requires_input_or_demo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--meta", "m", "--port", "1"])
+
+
+class TestCost:
+    def test_prints_ranking(self, capsys):
+        assert main(["cost", "--eta", "4", "--batch", "1", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal:" in out
+        assert "(2,2)" in out
+
+    def test_multibatch_changes_optimum(self, capsys):
+        main(["cost", "--eta", "8", "--batch", "128"])
+        out = capsys.readouterr().out
+        assert "8(2,2,2,2)" in out
+
+
+class TestTrainMeta:
+    def test_train_writes_bundle_and_meta(self, tmp_path, capsys):
+        model_path = tmp_path / "m.npz"
+        meta_path = tmp_path / "meta.json"
+        code = main(
+            [
+                "train", "--out", str(model_path), "--meta-out", str(meta_path),
+                "--scheme", "ternary", "--hidden", "16", "--epochs", "2",
+                "--samples", "300",
+            ]
+        )
+        assert code == 0
+        assert model_path.exists() and meta_path.exists()
+        out = capsys.readouterr().out
+        assert "quantized (ternary) accuracy" in out
+
+    def test_meta_command(self, tmp_path, capsys):
+        model_path = tmp_path / "m.npz"
+        main(
+            [
+                "train", "--out", str(model_path), "--scheme", "binary",
+                "--hidden", "8", "--epochs", "1", "--samples", "200",
+            ]
+        )
+        capsys.readouterr()
+        meta_path = tmp_path / "meta.json"
+        assert main(["meta", "--model", str(model_path), "--out", str(meta_path)]) == 0
+        assert meta_path.exists()
+
+
+@pytest.mark.slow
+class TestServePredict:
+    def test_tcp_roundtrip_subprocesses(self, tmp_path):
+        """Full deployment: two OS processes over a real socket."""
+        model_path = tmp_path / "m.npz"
+        meta_path = tmp_path / "meta.json"
+        assert (
+            main(
+                [
+                    "train", "--out", str(model_path), "--meta-out", str(meta_path),
+                    "--scheme", "ternary", "--hidden", "16", "--epochs", "2",
+                    "--samples", "300",
+                ]
+            )
+            == 0
+        )
+        port = _free_port()
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--model", str(model_path),
+                "--port", str(port), "--batch", "2", "--seed", "3",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            client = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "predict", "--meta", str(meta_path),
+                    "--port", str(port), "--demo", "2", "--seed", "4",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+            assert client.returncode == 0, client.stderr
+            assert "predictions:" in client.stdout
+            server_out, _ = server.communicate(timeout=60)
+            assert "saw only shares" in server_out
+        finally:
+            if server.poll() is None:
+                server.kill()

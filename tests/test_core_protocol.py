@@ -1,0 +1,204 @@
+"""End-to-end two-party prediction vs the plaintext integer reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta, secure_predict
+from repro.errors import ConfigError, ProtocolError
+from repro.net import make_channel_pair
+from repro.nn.quantize import quantize_model
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+@pytest.fixture(scope="module")
+def qmodel_ternary(trained_model):
+    return quantize_model(trained_model, FragmentScheme.ternary(), Ring(32), frac_bits=6)
+
+
+@pytest.fixture(scope="module")
+def qmodel_4bit(trained_model):
+    return quantize_model(
+        trained_model, FragmentScheme.from_bits((2, 2)), Ring(32), frac_bits=6
+    )
+
+
+class TestSecurePredict:
+    def test_ternary_exact_match(self, qmodel_ternary, small_dataset, test_group):
+        # No truncation for ternary, so the secure logits are bit-exact.
+        x = small_dataset.test_x[:3]
+        report = secure_predict(qmodel_ternary, x, group=test_group)
+        expect = qmodel_ternary.forward_int(qmodel_ternary.encoder.encode(x.T))
+        assert (report.logits_int == expect).all()
+        assert (report.predictions == qmodel_ternary.predict(x)).all()
+
+    def test_4bit_predictions_match(self, qmodel_4bit, small_dataset, test_group):
+        # Truncation is share-local (+-1 ulp), so compare predictions and
+        # logits within a tolerance.
+        x = small_dataset.test_x[:4]
+        report = secure_predict(qmodel_4bit, x, group=test_group)
+        ring = qmodel_4bit.ring
+        expect = ring.to_signed(qmodel_4bit.forward_int(qmodel_4bit.encoder.encode(x.T)))
+        got = ring.to_signed(report.logits_int)
+        assert np.abs(got - expect).max() <= 256
+        assert (report.predictions == qmodel_4bit.predict(x)).all()
+
+    def test_optimized_relu_variant(self, qmodel_ternary, small_dataset, test_group):
+        x = small_dataset.test_x[:2]
+        report = secure_predict(
+            qmodel_ternary, x, relu_variant="optimized", group=test_group
+        )
+        assert (report.predictions == qmodel_ternary.predict(x)).all()
+
+    def test_batch_sizes(self, qmodel_ternary, small_dataset, test_group):
+        for batch in (1, 5):
+            x = small_dataset.test_x[:batch]
+            report = secure_predict(qmodel_ternary, x, group=test_group)
+            assert report.predictions.shape == (batch,)
+            assert (report.predictions == qmodel_ternary.predict(x)).all()
+
+    def test_phase_stats_populated(self, qmodel_ternary, small_dataset, test_group):
+        report = secure_predict(qmodel_ternary, small_dataset.test_x[:2], group=test_group)
+        assert report.offline_bytes > 0
+        assert report.online_bytes > 0
+        assert report.offline_client.seconds > 0
+        assert report.rounds > 0
+        assert report.total_bytes >= report.offline_bytes + report.online_bytes
+
+    def test_offline_dominates_communication(self, qmodel_4bit, small_dataset, test_group):
+        # The design goal: OT (offline) traffic >> online traffic for 4-bit+.
+        report = secure_predict(qmodel_4bit, small_dataset.test_x[:1], group=test_group)
+        assert report.offline_bytes > report.online_bytes
+
+    def test_deterministic_with_seed(self, qmodel_ternary, small_dataset, test_group):
+        x = small_dataset.test_x[:2]
+        a = secure_predict(qmodel_ternary, x, group=test_group, seed=5)
+        b = secure_predict(qmodel_ternary, x, group=test_group, seed=5)
+        assert (a.logits_int == b.logits_int).all()
+
+
+class TestPartyApis:
+    def test_model_meta_has_no_weights(self, qmodel_ternary):
+        meta = ModelMeta.from_model(qmodel_ternary)
+        assert meta.ring_bits == 32
+        assert meta.frac_bits == 6
+        assert len(meta.layers) == 3
+        assert not hasattr(meta.layers[0], "w_int")
+
+    def test_online_before_offline(self, qmodel_ternary, test_group):
+        server_chan, _client_chan = make_channel_pair()
+        server = Abnn2Server(server_chan, qmodel_ternary, batch=1, group=test_group)
+        with pytest.raises(ProtocolError):
+            server.online()
+        meta = ModelMeta.from_model(qmodel_ternary)
+        client = Abnn2Client(_client_chan, meta, batch=1, group=test_group)
+        with pytest.raises(ProtocolError):
+            client.online(np.zeros((784, 1), dtype=np.uint64))
+
+    def test_bad_batch(self, qmodel_ternary, test_group):
+        chan, _ = make_channel_pair()
+        with pytest.raises(ConfigError):
+            Abnn2Server(chan, qmodel_ternary, batch=0, group=test_group)
+
+    def test_client_input_shape_checked(self, qmodel_ternary, test_group):
+        _, client_chan = make_channel_pair()
+        meta = ModelMeta.from_model(qmodel_ternary)
+        client = Abnn2Client(client_chan, meta, batch=2, group=test_group)
+        client._pending.append({})  # pretend offline ran
+        with pytest.raises(ConfigError):
+            client.online(np.zeros((10, 2), dtype=np.uint64))
+
+    def test_invalid_rounds(self, qmodel_ternary, test_group):
+        chan, _ = make_channel_pair()
+        server = Abnn2Server(chan, qmodel_ternary, batch=1, group=test_group)
+        with pytest.raises(ConfigError):
+            server.offline(rounds=0)
+
+    def test_multi_round_sessions(self, qmodel_ternary, small_dataset, test_group):
+        """One offline(rounds=2) covers two online batches, then runs dry."""
+        from repro.net.runner import run_protocol
+
+        x1 = small_dataset.test_x[:2]
+        x2 = small_dataset.test_x[2:4]
+        enc = qmodel_ternary.encoder
+
+        def server_fn(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 2, group=test_group, seed=11)
+            server.offline(rounds=2)
+            assert server.rounds_available == 2
+            server.online()
+            server.online()
+            assert server.rounds_available == 0
+            with pytest.raises(ProtocolError):
+                server.online()
+            return server
+
+        def client_fn(chan):
+            meta = ModelMeta.from_model(qmodel_ternary)
+            client = Abnn2Client(chan, meta, 2, group=test_group, seed=12)
+            client.offline(rounds=2)
+            first = client.online(enc.encode(x1.T))
+            second = client.online(enc.encode(x2.T))
+            return first, second
+
+        result = run_protocol(server_fn, client_fn)
+        first, second = result.client
+        assert (first == qmodel_ternary.forward_int(enc.encode(x1.T))).all()
+        assert (second == qmodel_ternary.forward_int(enc.encode(x2.T))).all()
+
+    def test_rounds_use_distinct_masks(self, qmodel_ternary, test_group):
+        """Mask reuse across rounds would leak input differences — the
+        security reason material is single-use."""
+        from repro.net.runner import run_protocol
+
+        def server_fn(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 1, group=test_group, seed=11)
+            server.offline(rounds=2)
+
+        def client_fn(chan):
+            meta = ModelMeta.from_model(qmodel_ternary)
+            client = Abnn2Client(chan, meta, 1, group=test_group, seed=12)
+            client.offline(rounds=2)
+            masks = [m["input_mask"] for m in client._pending]
+            assert (masks[0] != masks[1]).any()
+
+        run_protocol(server_fn, client_fn)
+
+
+class TestRing64:
+    def test_end_to_end_l64(self, trained_model, small_dataset, test_group):
+        """The paper's l=64 block of Table 4 exercises Ring(64) end to end."""
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), Ring(64), frac_bits=6)
+        x = small_dataset.test_x[:2]
+        report = secure_predict(qm, x, group=test_group)
+        expect = qm.forward_int(qm.encoder.encode(x.T))
+        assert (report.logits_int == expect).all()
+
+    def test_l64_costs_more_than_l32(self, trained_model, small_dataset, test_group):
+        x = small_dataset.test_x[:1]
+        small = secure_predict(
+            quantize_model(trained_model, FragmentScheme.ternary(), Ring(32), frac_bits=6),
+            x, group=test_group,
+        )
+        large = secure_predict(
+            quantize_model(trained_model, FragmentScheme.ternary(), Ring(64), frac_bits=6),
+            x, group=test_group,
+        )
+        assert large.total_bytes > small.total_bytes
+
+
+class TestOnlineCommModel:
+    def test_online_traffic_tracks_gc_model(self, qmodel_ternary, small_dataset, test_group):
+        """Online bytes ~= GC ReLU model + input/output share transfers."""
+        from repro.perf.costmodel import gc_relu_comm_bits
+
+        batch = 2
+        x = small_dataset.test_x[:batch]
+        report = secure_predict(qmodel_ternary, x, group=test_group)
+        hidden = sum(l.out_features for l in qmodel_ternary.layers[:-1])
+        predicted = (
+            gc_relu_comm_bits(32, hidden * batch)
+            + qmodel_ternary.input_dim * 32 * batch
+            + qmodel_ternary.output_dim * 32 * batch
+        ) / 8
+        assert 0.5 * predicted < report.online_bytes < 2.0 * predicted

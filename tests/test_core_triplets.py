@@ -1,0 +1,192 @@
+"""ABNN2 dot-product triplet generation (Algorithm 1 + optimizations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_client,
+    generate_triplets_server,
+)
+from repro.errors import ConfigError
+from repro.net import run_protocol
+from repro.perf.costmodel import abnn2_comm_bits
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+def _run_triplets(w, r, config, seed=9):
+    return run_protocol(
+        lambda ch: generate_triplets_server(ch, w, config, seed=seed),
+        lambda ch: generate_triplets_client(
+            ch, r, config, np.random.default_rng(seed + 1), seed=seed + 2
+        ),
+    )
+
+
+def _random_weights(scheme, shape, rng):
+    lo, hi = scheme.weight_range
+    return rng.integers(lo, hi + 1, size=shape)
+
+
+SCHEMES = [
+    "binary",
+    "ternary",
+    "3(2,1)",
+    "3(3)",
+    "4(2,2)",
+    "8(2,2,2,2)",
+    "8(3,3,2)",
+    "8(4,4)",
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("scheme_name", SCHEMES)
+    @pytest.mark.parametrize("o", [1, 4])
+    def test_reconstruction(self, scheme_name, o, test_group, rng):
+        from repro.quant.fragments import TABLE2_SCHEMES
+
+        scheme = TABLE2_SCHEMES[scheme_name]
+        ring = Ring(32)
+        m, n = 5, 9
+        w = _random_weights(scheme, (m, n), rng)
+        r = ring.sample(rng, (n, o))
+        config = TripletConfig(ring=ring, scheme=scheme, m=m, n=n, o=o, group=test_group)
+        result = _run_triplets(w, r, config)
+        got = ring.add(result.server, result.client)
+        assert (got == ring.matmul(ring.reduce(w), r)).all()
+
+    @pytest.mark.parametrize("bits", [16, 32, 64])
+    def test_ring_widths(self, bits, test_group, rng):
+        scheme = FragmentScheme.from_bits((2, 2))
+        ring = Ring(bits)
+        w = _random_weights(scheme, (4, 6), rng)
+        r = ring.sample(rng, (6, 2))
+        config = TripletConfig(ring=ring, scheme=scheme, m=4, n=6, o=2, group=test_group)
+        result = _run_triplets(w, r, config)
+        assert (ring.add(result.server, result.client) == ring.matmul(ring.reduce(w), r)).all()
+
+    def test_forced_modes_agree(self, test_group, rng):
+        scheme = FragmentScheme.from_bits((2, 2))
+        ring = Ring(32)
+        w = _random_weights(scheme, (3, 5), rng)
+        r = ring.sample(rng, (5, 1))
+        for mode in ("one", "multi"):
+            config = TripletConfig(
+                ring=ring, scheme=scheme, m=3, n=5, o=1, mode=mode, group=test_group
+            )
+            result = _run_triplets(w, r, config)
+            got = ring.add(result.server, result.client)
+            assert (got == ring.matmul(ring.reduce(w), r)).all()
+
+    def test_chunked_execution(self, test_group, rng, monkeypatch):
+        # Force tiny chunks so the accumulation crosses chunk boundaries.
+        import repro.core.triplets as triplets_mod
+
+        monkeypatch.setattr(triplets_mod, "_CHUNK_BUDGET_WORDS", 1)
+        scheme = FragmentScheme.from_bits((2, 2, 2, 2))
+        ring = Ring(32)
+        w = _random_weights(scheme, (3, 4), rng)
+        r = ring.sample(rng, (4, 2))
+        config = TripletConfig(ring=ring, scheme=scheme, m=3, n=4, o=2, group=test_group)
+        assert config.chunk_size(4) == 1024  # floor kicks in
+        result = _run_triplets(w, r, config)
+        assert (ring.add(result.server, result.client) == ring.matmul(ring.reduce(w), r)).all()
+
+    def test_negative_weights_exact(self, test_group, rng):
+        # The signed top fragment must produce exact signed products.
+        scheme = FragmentScheme.from_bits((2, 2, 2, 2))
+        ring = Ring(32)
+        w = np.full((2, 3), -128, dtype=np.int64)  # most negative value
+        r = ring.sample(rng, (3, 1))
+        config = TripletConfig(ring=ring, scheme=scheme, m=2, n=3, o=1, group=test_group)
+        result = _run_triplets(w, r, config)
+        assert (ring.add(result.server, result.client) == ring.matmul(ring.reduce(w), r)).all()
+
+
+class TestCommunication:
+    def test_matches_cost_model_multi(self, test_group, rng):
+        scheme = FragmentScheme.from_bits((2, 2))
+        ring = Ring(32)
+        m, n, o = 8, 16, 4
+        w = _random_weights(scheme, (m, n), rng)
+        r = ring.sample(rng, (n, o))
+        config = TripletConfig(ring=ring, scheme=scheme, m=m, n=n, o=o, group=test_group)
+        result = _run_triplets(w, r, config)
+        predicted = abnn2_comm_bits(scheme, m, n, o, 32, "multi") / 8
+        # Base OTs and framing add a fixed overhead on top of the model.
+        overhead = result.total_bytes - predicted
+        assert 0 <= overhead < 20_000
+
+    def test_matches_cost_model_one_batch(self, test_group, rng):
+        scheme = FragmentScheme.from_bits((2, 2, 2, 2))
+        ring = Ring(32)
+        m, n = 16, 16
+        w = _random_weights(scheme, (m, n), rng)
+        r = ring.sample(rng, (n, 1))
+        config = TripletConfig(ring=ring, scheme=scheme, m=m, n=n, o=1, group=test_group)
+        result = _run_triplets(w, r, config)
+        predicted = abnn2_comm_bits(scheme, m, n, 1, 32, "one") / 8
+        overhead = result.total_bytes - predicted
+        assert 0 <= overhead < 20_000
+
+    def test_one_batch_beats_multi_for_single_column(self, test_group, rng):
+        scheme = FragmentScheme.from_bits((2, 2))
+        ring = Ring(32)
+        m, n = 16, 32
+        w = _random_weights(scheme, (m, n), rng)
+        r = ring.sample(rng, (n, 1))
+
+        def traffic(mode):
+            config = TripletConfig(
+                ring=ring, scheme=scheme, m=m, n=n, o=1, mode=mode, group=test_group
+            )
+            return _run_triplets(w, r, config).total_bytes
+
+        assert traffic("one") < traffic("multi")
+
+    def test_ot_count_property(self):
+        scheme = FragmentScheme.from_bits((2, 2, 2, 2))
+        config = TripletConfig(ring=Ring(32), scheme=scheme, m=10, n=20, o=5)
+        assert config.total_ots == 4 * 10 * 20
+
+
+class TestValidation:
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            TripletConfig(ring=Ring(32), scheme=FragmentScheme.binary(), m=0, n=1, o=1)
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError):
+            TripletConfig(
+                ring=Ring(32), scheme=FragmentScheme.binary(), m=1, n=1, o=1, mode="banana"
+            )
+
+    def test_shape_mismatch_server(self, test_group):
+        config = TripletConfig(
+            ring=Ring(32), scheme=FragmentScheme.binary(), m=2, n=3, o=1, group=test_group
+        )
+        from repro.net.channel import make_channel_pair
+
+        chan, _ = make_channel_pair()
+        with pytest.raises(ConfigError):
+            generate_triplets_server(chan, np.zeros((3, 3), dtype=np.int64), config)
+
+    def test_shape_mismatch_client(self, test_group):
+        config = TripletConfig(
+            ring=Ring(32), scheme=FragmentScheme.binary(), m=2, n=3, o=1, group=test_group
+        )
+        from repro.net.channel import make_channel_pair
+
+        chan, _ = make_channel_pair()
+        with pytest.raises(ConfigError):
+            generate_triplets_client(
+                chan, np.zeros((4, 1), dtype=np.uint64), config, np.random.default_rng(0)
+            )
+
+    def test_radix_groups_mixed_scheme(self):
+        config = TripletConfig(
+            ring=Ring(32), scheme=FragmentScheme.from_bits((3, 3, 2)), m=1, n=1, o=1
+        )
+        assert config.radix_groups == [(4, [2]), (8, [0, 1])]

@@ -1,0 +1,46 @@
+"""Smoke-run the example scripts (they are part of the public surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+
+
+def test_quickstart_runs():
+    result = _run("quickstart.py", "--batch", "1")
+    assert result.returncode == 0, result.stderr
+    assert "predictions:" in result.stdout
+    assert "offline phase" in result.stdout
+
+
+def test_private_diagnosis_runs():
+    result = _run("private_diagnosis.py")
+    assert result.returncode == 0, result.stderr
+    assert "urgent" in result.stdout or "low risk" in result.stdout
+    assert "never saw" in result.stdout
+
+
+@pytest.mark.slow
+def test_bitwidth_sweep_runs():
+    result = _run("bitwidth_sweep.py")
+    assert result.returncode == 0, result.stderr
+    assert "binary" in result.stdout and "8-bit" in result.stdout
+
+
+@pytest.mark.slow
+def test_wan_planning_runs():
+    result = _run("wan_planning.py")
+    assert result.returncode == 0, result.stderr
+    assert "batch" in result.stdout

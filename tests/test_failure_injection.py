@@ -1,0 +1,167 @@
+"""Failure injection: protocols must fail loudly, not corrupt silently."""
+
+import numpy as np
+import pytest
+
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_client,
+    generate_triplets_server,
+)
+from repro.errors import ChannelError, CryptoError, ProtocolError, ReproError
+from repro.net import make_channel_pair, run_protocol
+from repro.net.channel import Channel
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+class _TamperingChannel:
+    """Wraps a channel; corrupts the Nth received array's first element."""
+
+    def __init__(self, inner: Channel, corrupt_at: int) -> None:
+        self._inner = inner
+        self._count = 0
+        self._corrupt_at = corrupt_at
+        self.stats = inner.stats
+        self.party = inner.party
+
+    def send(self, obj):
+        self._inner.send(obj)
+
+    def recv(self):
+        obj = self._inner.recv()
+        self._count += 1
+        if self._count == self._corrupt_at and isinstance(obj, np.ndarray) and obj.size:
+            # Flip the low bit of every element: whichever ciphertext
+            # slots the receiver opens, they are corrupted.  (A single
+            # flipped slot could land on an *unchosen* OT message, which
+            # OT semantics render harmless by design.)
+            obj = obj.copy()
+            obj ^= np.array(1, dtype=obj.dtype)
+        return obj
+
+    def close(self):
+        self._inner.close()
+
+
+class TestAbortMidProtocol:
+    def test_peer_death_surfaces_as_channel_error(self, test_group, rng):
+        ring = Ring(32)
+        config = TripletConfig(
+            ring=ring, scheme=FragmentScheme.binary(), m=2, n=3, o=1, group=test_group
+        )
+        w = rng.integers(0, 2, size=(2, 3))
+
+        def dying_client(chan):
+            chan.recv()  # take the server's first base-OT message
+            chan.close()  # then vanish
+
+        with pytest.raises(ChannelError):
+            run_protocol(
+                lambda ch: generate_triplets_server(ch, w, config, seed=1),
+                dying_client,
+                timeout_s=10,
+            )
+
+    def test_timeout_is_bounded(self):
+        def silent_server(chan):
+            chan.recv()  # waits forever
+
+        def silent_client(chan):
+            chan.recv()
+
+        # Whichever party's timer fires first closes the channel, so the
+        # surfaced error is either its timeout or the peer-closed echo.
+        with pytest.raises(ChannelError, match="timed out|peer closed"):
+            run_protocol(silent_server, silent_client, timeout_s=0.2)
+
+
+class TestTampering:
+    def test_corrupted_ot_message_breaks_reconstruction(self, test_group, rng):
+        """A flipped ciphertext bit must corrupt the output (no silent
+        recovery), demonstrating the shares actually depend on every
+        transmitted word."""
+        ring = Ring(32)
+        scheme = FragmentScheme.from_bits((2, 2))
+        m, n = 3, 4
+        w = rng.integers(-8, 8, size=(m, n))
+        r = ring.sample(rng, (n, 2))
+        config = TripletConfig(ring=ring, scheme=scheme, m=m, n=n, o=2, group=test_group)
+
+        server_chan, client_chan = make_channel_pair(timeout_s=10)
+        # The server (KK13 receiver / base-OT sender) receives: (1) the
+        # base-OT response blob, (2) the OT ciphertext array — corrupt it.
+        tampered = _TamperingChannel(server_chan, corrupt_at=2)
+
+        import threading
+
+        box = {}
+
+        def client_main():
+            try:
+                box["v"] = generate_triplets_client(
+                    client_chan, r, config, np.random.default_rng(5), seed=2
+                )
+            except ReproError as exc:  # corruption may also trip checks
+                box["exc"] = exc
+
+        thread = threading.Thread(target=client_main, daemon=True)
+        thread.start()
+        try:
+            u = generate_triplets_server(tampered, w, config, seed=1)
+        except ReproError:
+            thread.join(timeout=10)
+            return  # loud failure: acceptable
+        thread.join(timeout=10)
+        if "exc" in box:
+            return
+        got = ring.add(u, box["v"])
+        expect = ring.matmul(ring.reduce(w), r)
+        assert (got != expect).any(), "tampering went unnoticed AND harmless"
+
+
+class TestShapeConfusion:
+    def test_mismatched_configs_fail(self, test_group, rng):
+        """Parties disagreeing on o must raise, not mis-reconstruct."""
+        ring = Ring(32)
+        scheme = FragmentScheme.binary()
+        w = rng.integers(0, 2, size=(2, 3))
+        r = ring.sample(rng, (3, 2))
+        cfg_server = TripletConfig(
+            ring=ring, scheme=scheme, m=2, n=3, o=1, group=test_group
+        )
+        cfg_client = TripletConfig(
+            ring=ring, scheme=scheme, m=2, n=3, o=2, group=test_group
+        )
+        with pytest.raises((ReproError, ValueError)):
+            run_protocol(
+                lambda ch: generate_triplets_server(ch, w, cfg_server, seed=1),
+                lambda ch: generate_triplets_client(
+                    ch, r, cfg_client, np.random.default_rng(3), seed=2
+                ),
+                timeout_s=10,
+            )
+
+    def test_mismatched_schemes_fail_or_corrupt_loudly(self, test_group, rng):
+        ring = Ring(32)
+        w = rng.integers(0, 2, size=(2, 3))
+        r = ring.sample(rng, (3, 1))
+        cfg_server = TripletConfig(
+            ring=ring, scheme=FragmentScheme.binary(), m=2, n=3, o=1, group=test_group
+        )
+        cfg_client = TripletConfig(
+            ring=ring, scheme=FragmentScheme.ternary(), m=2, n=3, o=1, group=test_group
+        )
+        try:
+            result = run_protocol(
+                lambda ch: generate_triplets_server(ch, w, cfg_server, seed=1),
+                lambda ch: generate_triplets_client(
+                    ch, r, cfg_client, np.random.default_rng(3), seed=2
+                ),
+                timeout_s=10,
+            )
+        except (ReproError, ValueError):
+            return
+        got = ring.add(result.server, result.client)
+        expect = ring.matmul(ring.reduce(w), r)
+        assert (got != expect).any()

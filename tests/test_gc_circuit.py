@@ -1,0 +1,194 @@
+"""Boolean circuit templates and word-level builders (plaintext semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.gc.builder import (
+    add_words,
+    and_broadcast,
+    generic_activation_template,
+    mux_words,
+    neg_words,
+    reconstruct_sub_template,
+    relu_template,
+    sign_template,
+    sub_words,
+)
+from repro.gc.circuit import Circuit
+from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.ring import Ring
+
+
+def _two_input_circuit(bits, op):
+    circ = Circuit()
+    x = circ.garbler_input(bits)
+    y = circ.evaluator_input(bits)
+    circ.mark_outputs(op(circ, x, y))
+    circ.validate()
+    return circ
+
+
+def _eval_words(circ, bits, x_vals, y_vals):
+    ring = Ring(bits)
+    gx = int_to_bits(ring.reduce(x_vals), bits)
+    ey = int_to_bits(ring.reduce(y_vals), bits)
+    out = circ.eval_plain(gx, ey)
+    return ring.reduce(bits_to_int(out))
+
+
+class TestGatePrimitives:
+    def test_xor_and_inv(self):
+        circ = Circuit()
+        (a,) = circ.garbler_input(1)
+        (b,) = circ.evaluator_input(1)
+        circ.mark_outputs([circ.xor(a, b), circ.and_(a, b), circ.inv(a), circ.or_(a, b)])
+        for av in (0, 1):
+            for bv in (0, 1):
+                out = circ.eval_plain([[av]], [[bv]])[0]
+                assert out.tolist() == [av ^ bv, av & bv, 1 - av, av | bv]
+
+    def test_validate_catches_undefined_wire(self):
+        circ = Circuit()
+        (a,) = circ.garbler_input(1)
+        circ.gates.append(type(circ.gates)() if False else None)  # placeholder
+        circ.gates.pop()
+        bad = circ.xor(a, 57)  # wire 57 never defined
+        circ.mark_outputs([bad])
+        with pytest.raises(ConfigError):
+            circ.validate()
+
+    def test_validate_catches_undriven_output(self):
+        circ = Circuit()
+        circ.garbler_input(1)
+        circ.mark_outputs([99])
+        with pytest.raises(ConfigError):
+            circ.validate()
+
+    def test_eval_input_count_checked(self):
+        circ = Circuit()
+        circ.garbler_input(2)
+        with pytest.raises(ConfigError):
+            circ.eval_plain([[1]], [[]])
+
+
+class TestAdders:
+    @given(
+        x=st.integers(0, 2**16 - 1),
+        y=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_ring(self, x, y):
+        circ = _two_input_circuit(16, add_words)
+        got = int(np.asarray(_eval_words(circ, 16, x, y)).reshape(-1)[0])
+        assert got == (x + y) % (1 << 16)
+
+    @given(x=st.integers(0, 2**16 - 1), y=st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sub_matches_ring(self, x, y):
+        circ = _two_input_circuit(16, sub_words)
+        got = int(np.asarray(_eval_words(circ, 16, x, y)).reshape(-1)[0])
+        assert got == (x - y) % (1 << 16)
+
+    def test_add_and_count(self):
+        for bits in (1, 8, 32):
+            circ = _two_input_circuit(bits, add_words)
+            assert circ.and_count == bits - 1
+
+    def test_sub_and_count(self):
+        circ = _two_input_circuit(32, sub_words)
+        assert circ.and_count == 31
+
+    def test_neg_words(self):
+        circ = Circuit()
+        x = circ.garbler_input(8)
+        circ.mark_outputs(neg_words(circ, x))
+        circ.validate()
+        for value in (0, 1, 127, 200, 255):
+            out = bits_to_int(circ.eval_plain(int_to_bits(np.uint64(value), 8), np.zeros((1, 0))))
+            assert int(out[0]) == (-value) % 256
+
+    def test_width_mismatch_raises(self):
+        circ = Circuit()
+        x = circ.garbler_input(4)
+        y = circ.evaluator_input(5)
+        with pytest.raises(ConfigError):
+            add_words(circ, x, y)
+
+
+class TestMux:
+    def test_mux_selects(self):
+        circ = Circuit()
+        (sel,) = circ.garbler_input(1)
+        a = circ.garbler_input(4)
+        b = circ.evaluator_input(4)
+        circ.mark_outputs(mux_words(circ, sel, a, b))
+        for s in (0, 1):
+            g_bits = np.concatenate([[s], int_to_bits(np.uint64(12), 4)])
+            e_bits = int_to_bits(np.uint64(5), 4)
+            out = int(bits_to_int(circ.eval_plain(g_bits[None, :], e_bits[None, :]))[0])
+            assert out == (12 if s else 5)
+
+    def test_and_broadcast(self):
+        circ = Circuit()
+        (bit,) = circ.garbler_input(1)
+        x = circ.evaluator_input(4)
+        circ.mark_outputs(and_broadcast(circ, bit, x))
+        out = int(bits_to_int(circ.eval_plain([[0]], int_to_bits(np.uint64(15), 4)[None, :]))[0])
+        assert out == 0
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("bits", [8, 16, 32])
+    def test_relu_template_semantics(self, bits, rng):
+        ring = Ring(bits)
+        circ = relu_template(bits)
+        n = 64
+        y = ring.sample(rng, n)
+        y1 = ring.sample(rng, n)
+        y0 = ring.sub(y, y1)
+        z1 = ring.sample(rng, n)
+        g = np.concatenate([int_to_bits(y1, bits), int_to_bits(z1, bits)], axis=1)
+        out = ring.reduce(bits_to_int(circ.eval_plain(g, int_to_bits(y0, bits))))
+        relu = np.where(ring.to_signed(y) > 0, y, 0).astype(np.uint64)
+        assert (out == ring.sub(relu, z1)).all()
+
+    def test_relu_and_count(self):
+        assert relu_template(32).and_count == 3 * 32 - 2
+
+    def test_sign_template(self, rng):
+        ring = Ring(16)
+        circ = sign_template(16)
+        assert circ.and_count == 15
+        y = ring.reduce(np.array([5, -5, 0, 30000, -30000]))
+        y1 = ring.sample(rng, 5)
+        y0 = ring.sub(y, y1)
+        out = circ.eval_plain(int_to_bits(y1, 16), int_to_bits(y0, 16))
+        assert out[:, 0].tolist() == [1, 0, 1, 1, 0]
+
+    def test_reconstruct_sub_template(self, rng):
+        ring = Ring(16)
+        circ = reconstruct_sub_template(16)
+        assert circ.and_count == 2 * 16 - 2
+        y = ring.sample(rng, 10)
+        y1 = ring.sample(rng, 10)
+        z1 = ring.sample(rng, 10)
+        g = np.concatenate([int_to_bits(y1, 16), int_to_bits(z1, 16)], axis=1)
+        out = ring.reduce(bits_to_int(circ.eval_plain(g, int_to_bits(ring.sub(y, y1), 16))))
+        assert (out == ring.sub(y, z1)).all()
+
+    def test_generic_activation_identity(self, rng):
+        ring = Ring(8)
+        circ = generic_activation_template(8, lambda c, y: y)
+        y = ring.sample(rng, 6)
+        y1 = ring.sample(rng, 6)
+        z1 = ring.sample(rng, 6)
+        g = np.concatenate([int_to_bits(y1, 8), int_to_bits(z1, 8)], axis=1)
+        out = ring.reduce(bits_to_int(circ.eval_plain(g, int_to_bits(ring.sub(y, y1), 8))))
+        assert (out == ring.sub(y, z1)).all()
+
+    def test_generic_activation_width_check(self):
+        with pytest.raises(ConfigError):
+            generic_activation_template(8, lambda c, y: y[:-1])

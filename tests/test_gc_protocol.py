@@ -1,0 +1,117 @@
+"""Two-party GC execution over channels (label OT included)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gc.builder import relu_template, sign_template
+from repro.gc.circuit import Circuit
+from repro.gc.protocol import GcSessions, run_evaluator, run_garbler
+from repro.net import run_protocol
+from repro.utils.bits import bits_to_int, int_to_bits
+from repro.utils.ring import Ring
+
+
+def _run_gc(circ, g_bits, e_bits, n_inst, group, garbler_seed=3, eval_seed=4):
+    def garbler_fn(chan):
+        sessions = GcSessions(chan, "garbler", group=group, seed=garbler_seed)
+        run_garbler(chan, circ, g_bits, n_inst, sessions, np.random.default_rng(11))
+
+    def evaluator_fn(chan):
+        sessions = GcSessions(chan, "evaluator", group=group, seed=eval_seed)
+        return run_evaluator(chan, circ, e_bits, n_inst, sessions)
+
+    return run_protocol(garbler_fn, evaluator_fn)
+
+
+class TestGcProtocol:
+    def test_relu_over_channel(self, test_group, rng):
+        ring = Ring(16)
+        circ = relu_template(16)
+        n = 30
+        y, y1, z1 = ring.sample(rng, n), ring.sample(rng, n), ring.sample(rng, n)
+        y0 = ring.sub(y, y1)
+        g_bits = np.concatenate([int_to_bits(y1, 16), int_to_bits(z1, 16)], axis=1).T.copy()
+        e_bits = int_to_bits(y0, 16).T.copy()
+        result = _run_gc(circ, g_bits, e_bits, n, test_group)
+        got = ring.reduce(bits_to_int(result.client.T))
+        relu = np.where(ring.to_signed(y) > 0, y, 0).astype(np.uint64)
+        assert (got == ring.sub(relu, z1)).all()
+
+    def test_no_evaluator_inputs(self, test_group):
+        # A circuit whose inputs all belong to the garbler skips the OT.
+        circ = Circuit()
+        a = circ.garbler_input(2)
+        circ.mark_outputs([circ.and_(a[0], a[1])])
+        g_bits = np.array([[1, 1], [1, 0]], dtype=np.uint8)  # two instances
+        result = _run_gc(circ, g_bits, np.zeros((0, 2), dtype=np.uint8), 2, test_group)
+        assert result.client[0].tolist() == [1, 0]
+
+    def test_session_reuse_two_layers(self, test_group, rng):
+        ring = Ring(8)
+        circ = sign_template(8)
+        n = 20
+        y = ring.reduce(rng.integers(-100, 100, size=n))
+        y1 = ring.sample(rng, n)
+        y0 = ring.sub(y, y1)
+
+        def garbler_fn(chan):
+            sessions = GcSessions(chan, "garbler", group=test_group, seed=3)
+            local = np.random.default_rng(11)
+            for _ in range(2):
+                run_garbler(chan, circ, int_to_bits(y1, 8).T.copy(), n, sessions, local)
+
+        def evaluator_fn(chan):
+            sessions = GcSessions(chan, "evaluator", group=test_group, seed=4)
+            outs = []
+            for _ in range(2):
+                outs.append(run_evaluator(chan, circ, int_to_bits(y0, 8).T.copy(), n, sessions))
+            return outs
+
+        result = run_protocol(garbler_fn, evaluator_fn)
+        expect = (ring.to_signed(y) >= 0).astype(np.uint8)
+        for out in result.client:
+            assert (out[0] == expect).all()
+
+    def test_evaluator_bit_shape_checked(self, test_group):
+        circ = sign_template(8)
+
+        def garbler_fn(chan):
+            sessions = GcSessions(chan, "garbler", group=test_group, seed=3)
+            run_garbler(
+                chan, circ, np.zeros((8, 2), dtype=np.uint8), 2, sessions,
+                np.random.default_rng(0),
+            )
+
+        def evaluator_fn(chan):
+            sessions = GcSessions(chan, "evaluator", group=test_group, seed=4)
+            return run_evaluator(chan, circ, np.zeros((7, 2), dtype=np.uint8), 2, sessions)
+
+        with pytest.raises(ProtocolError):
+            run_protocol(garbler_fn, evaluator_fn, timeout_s=5)
+
+    def test_invalid_role(self, test_group):
+        from repro.net.channel import make_channel_pair
+
+        chan, _ = make_channel_pair()
+        with pytest.raises(ProtocolError):
+            GcSessions(chan, "banana", group=test_group)
+
+    def test_comm_scales_with_and_gates(self, test_group, rng):
+        ring = Ring(8)
+        n = 10
+        y1 = ring.sample(rng, n)
+        y0 = ring.sample(rng, n)
+
+        def traffic(circ, g_bits):
+            result = _run_gc(circ, g_bits, int_to_bits(y0, 8).T.copy(), n, test_group)
+            return result.total_bytes
+
+        small = sign_template(8)  # 7 ANDs
+        z1 = ring.sample(rng, n)
+        big = relu_template(8)  # 22 ANDs
+        small_bytes = traffic(small, int_to_bits(y1, 8).T.copy())
+        big_bytes = traffic(
+            big, np.concatenate([int_to_bits(y1, 8), int_to_bits(z1, 8)], axis=1).T.copy()
+        )
+        assert big_bytes > small_bytes

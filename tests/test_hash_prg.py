@@ -1,0 +1,90 @@
+"""Random-oracle backends and the PRG."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.hash_ro import sha256_ro, siphash_ro
+from repro.crypto.prg import Prg, expand_to_bits
+from repro.errors import CryptoError
+
+
+class TestRandomOracles:
+    @pytest.mark.parametrize("ro", [sha256_ro, siphash_ro], ids=["sha256", "siphash"])
+    def test_deterministic(self, ro, rng):
+        rows = rng.integers(0, 1 << 63, size=(5, 3), dtype=np.uint64)
+        assert (ro.mask(rows, 4) == ro.mask(rows, 4)).all()
+
+    @pytest.mark.parametrize("ro", [sha256_ro, siphash_ro], ids=["sha256", "siphash"])
+    def test_row_sensitivity(self, ro):
+        rows = np.zeros((2, 2), dtype=np.uint64)
+        rows[1, 0] = 1
+        out = ro.mask(rows, 2)
+        assert (out[0] != out[1]).any()
+
+    @pytest.mark.parametrize("ro", [sha256_ro, siphash_ro], ids=["sha256", "siphash"])
+    def test_domain_separation(self, ro, rng):
+        rows = rng.integers(0, 1 << 63, size=(3, 2), dtype=np.uint64)
+        assert (ro.mask(rows, 2, domain=1) != ro.mask(rows, 2, domain=2)).any()
+
+    @pytest.mark.parametrize("ro", [sha256_ro, siphash_ro], ids=["sha256", "siphash"])
+    def test_output_shape(self, ro, rng):
+        rows = rng.integers(0, 1 << 63, size=(4, 6, 3), dtype=np.uint64)
+        assert ro.mask(rows, 5).shape == (4, 6, 5)
+
+    def test_invalid_out_words(self):
+        with pytest.raises(CryptoError):
+            siphash_ro.mask(np.zeros((1, 2), dtype=np.uint64), 0)
+
+    def test_hash_bytes_lengths(self):
+        out = sha256_ro.hash_bytes(b"seed", 100)
+        assert len(out) == 100
+        assert sha256_ro.hash_bytes(b"seed", 100) == out
+
+    def test_hash_bytes_domains(self):
+        assert sha256_ro.hash_bytes(b"x", 16, 1) != sha256_ro.hash_bytes(b"x", 16, 2)
+
+    def test_backends_disagree(self, rng):
+        # Sanity: the two backends are different functions.
+        rows = rng.integers(0, 1 << 63, size=(2, 2), dtype=np.uint64)
+        assert (sha256_ro.mask(rows, 2) != siphash_ro.mask(rows, 2)).any()
+
+
+class TestPrg:
+    def test_seed_length_enforced(self):
+        with pytest.raises(CryptoError):
+            Prg(b"short")
+
+    def test_deterministic_stream(self):
+        seed = bytes(range(16))
+        assert (Prg(seed).bits(100) == Prg(seed).bits(100)).all()
+        assert Prg(seed).bytes(32) == Prg(seed).bytes(32)
+
+    def test_streams_continue(self):
+        seed = bytes(range(16))
+        prg = Prg(seed)
+        first, second = prg.bits(64), prg.bits(64)
+        combined = Prg(seed).bits(128)
+        assert (np.concatenate([first, second]) == combined).all()
+
+    def test_independent_seeds(self):
+        a = Prg(bytes(16)).bits(256)
+        b = Prg(bytes([1] + [0] * 15)).bits(256)
+        assert (a != b).any()
+
+    def test_bits_are_bits(self):
+        bits = Prg(bytes(range(16))).bits(1000)
+        assert set(np.unique(bits)) <= {0, 1}
+        assert 300 < bits.sum() < 700  # roughly balanced
+
+    def test_words_count(self):
+        assert Prg(bytes(range(16))).words(17).shape == (17,)
+
+    def test_negative_counts_rejected(self):
+        prg = Prg(bytes(16))
+        with pytest.raises(CryptoError):
+            prg.bits(-1)
+        with pytest.raises(CryptoError):
+            prg.words(-1)
+
+    def test_expand_helper(self):
+        assert (expand_to_bits(bytes(16), 64) == Prg(bytes(16)).bits(64)).all()

@@ -1,0 +1,147 @@
+"""IKNP 1-out-of-2 OT extension: chosen, correlated, session reuse."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.iknp import OtExtReceiver, OtExtSender
+from repro.errors import CryptoError
+from repro.net import run_protocol
+from repro.utils.ring import Ring
+
+
+def _run_chosen(messages, choices, group, width):
+    return run_protocol(
+        lambda ch: OtExtSender(ch, group=group, seed=1).send_chosen(messages),
+        lambda ch: OtExtReceiver(ch, group=group, seed=2).recv_chosen(choices, width),
+    )
+
+
+class TestChosenMessage:
+    def test_correctness(self, test_group, rng):
+        m = 300
+        msgs = rng.integers(0, 1 << 63, size=(m, 2, 2), dtype=np.uint64)
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+        result = _run_chosen(msgs, choices, test_group, 2)
+        assert (result.client == msgs[np.arange(m), choices.astype(int)]).all()
+
+    def test_receiver_does_not_learn_other_message(self, test_group, rng):
+        # The unchosen message pads must not equal the received values.
+        m = 50
+        msgs = rng.integers(0, 1 << 63, size=(m, 2, 1), dtype=np.uint64)
+        choices = np.zeros(m, dtype=np.uint8)
+        result = _run_chosen(msgs, choices, test_group, 1)
+        assert (result.client[:, 0] == msgs[:, 0, 0]).all()
+        assert (result.client[:, 0] != msgs[:, 1, 0]).all()
+
+    def test_wide_messages(self, test_group, rng):
+        m = 20
+        msgs = rng.integers(0, 1 << 63, size=(m, 2, 7), dtype=np.uint64)
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+        result = _run_chosen(msgs, choices, test_group, 7)
+        assert (result.client == msgs[np.arange(m), choices.astype(int)]).all()
+
+    def test_bad_message_shape(self, test_group):
+        from repro.net.channel import make_channel_pair
+
+        chan, _ = make_channel_pair()
+        sender = OtExtSender(chan, group=test_group)
+        with pytest.raises(CryptoError):
+            sender.send_chosen(np.zeros((4, 3, 1), dtype=np.uint64))
+
+    def test_bad_choice_values(self, test_group):
+        from repro.net.channel import make_channel_pair
+
+        server, client = make_channel_pair(timeout_s=5)
+
+        def client_fn(ch):
+            return OtExtReceiver(ch, group=test_group, seed=2).recv_chosen(
+                np.array([0, 2], dtype=np.uint8), 1
+            )
+
+        def server_fn(ch):
+            OtExtSender(ch, group=test_group, seed=1).send_chosen(
+                np.zeros((2, 2, 1), dtype=np.uint64)
+            )
+
+        with pytest.raises(CryptoError):
+            run_protocol(server_fn, client_fn, timeout_s=5)
+
+
+class TestCorrelated:
+    @pytest.mark.parametrize("bits", [16, 32, 64])
+    def test_correlation_holds(self, bits, test_group, rng):
+        ring = Ring(bits)
+        m = 200
+        deltas = ring.sample(rng, m)
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+        result = run_protocol(
+            lambda ch: OtExtSender(ch, group=test_group, seed=1).send_correlated(deltas, ring),
+            lambda ch: OtExtReceiver(ch, group=test_group, seed=2).recv_correlated(
+                choices, None, ring
+            ),
+        )
+        expect = ring.add(result.server, ring.mul(choices.astype(np.uint64), deltas))
+        assert (result.client == expect).all()
+
+    def test_multi_lane(self, test_group, rng):
+        ring = Ring(32)
+        m, lanes = 60, 5
+        deltas = ring.sample(rng, (m, lanes))
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+        result = run_protocol(
+            lambda ch: OtExtSender(ch, group=test_group, seed=1).send_correlated(deltas, ring),
+            lambda ch: OtExtReceiver(ch, group=test_group, seed=2).recv_correlated(
+                choices, lanes, ring
+            ),
+        )
+        expect = ring.add(result.server, ring.mul(choices.astype(np.uint64)[:, None], deltas))
+        assert (result.client == expect).all()
+
+    def test_sub64_packing_saves_bytes(self, test_group, rng):
+        ring16, ring64 = Ring(16), Ring(64)
+        m = 512
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+
+        def run(ring):
+            deltas = ring.sample(rng, m)
+            return run_protocol(
+                lambda ch: OtExtSender(ch, group=test_group, seed=1).send_correlated(deltas, ring),
+                lambda ch: OtExtReceiver(ch, group=test_group, seed=2).recv_correlated(
+                    choices, None, ring
+                ),
+            ).total_bytes
+
+        assert run(ring16) < run(ring64)
+
+
+class TestSessions:
+    def test_multiple_batches_one_setup(self, test_group, rng):
+        ring = Ring(32)
+        m = 100
+        msgs = rng.integers(0, 1 << 63, size=(m, 2, 1), dtype=np.uint64)
+        choices = rng.integers(0, 2, size=m, dtype=np.uint8)
+        deltas = ring.sample(rng, m)
+
+        def server_fn(ch):
+            sender = OtExtSender(ch, group=test_group, seed=1)
+            sender.send_chosen(msgs)
+            return sender.send_correlated(deltas, ring)
+
+        def client_fn(ch):
+            receiver = OtExtReceiver(ch, group=test_group, seed=2)
+            got = receiver.recv_chosen(choices, 1)
+            cot = receiver.recv_correlated(choices, None, ring)
+            return got, cot
+
+        result = run_protocol(server_fn, client_fn)
+        got, cot = result.client
+        assert (got == msgs[np.arange(m), choices.astype(int)]).all()
+        expect = ring.add(result.server, ring.mul(choices.astype(np.uint64), deltas))
+        assert (cot == expect).all()
+
+    def test_kappa_must_be_word_aligned(self, test_group):
+        from repro.net.channel import make_channel_pair
+
+        chan, _ = make_channel_pair()
+        with pytest.raises(CryptoError):
+            OtExtSender(chan, kappa=100, group=test_group)

@@ -1,0 +1,47 @@
+"""LAN/WAN analytic time model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.netsim import LAN, MB, WAN_QUOTIENT, WAN_SECUREML, NetworkModel
+
+
+class TestProfiles:
+    def test_paper_wan_settings(self):
+        assert WAN_SECUREML.bandwidth_bytes_per_s == 9 * MB
+        assert WAN_SECUREML.rtt_s == pytest.approx(0.072)
+        assert WAN_QUOTIENT.bandwidth_bytes_per_s == pytest.approx(24.3 * MB)
+        assert WAN_QUOTIENT.rtt_s == pytest.approx(0.040)
+
+    def test_lan_faster_than_wan(self):
+        assert LAN.bandwidth_bytes_per_s > WAN_SECUREML.bandwidth_bytes_per_s
+        assert LAN.rtt_s < WAN_SECUREML.rtt_s
+
+
+class TestEstimates:
+    def test_transfer_time(self):
+        assert WAN_SECUREML.transfer_time_s(9 * MB) == pytest.approx(1.0)
+
+    def test_latency_time(self):
+        assert WAN_SECUREML.latency_time_s(10) == pytest.approx(0.72)
+
+    def test_estimate_composition(self):
+        got = WAN_SECUREML.estimate_s(compute_s=2.0, nbytes=9 * MB, rounds=10)
+        assert got == pytest.approx(2.0 + 1.0 + 0.72)
+
+    def test_compute_scale(self):
+        fast = WAN_SECUREML.estimate_s(10.0, 0, 0, compute_scale=0.1)
+        assert fast == pytest.approx(1.0)
+
+    def test_zero_everything(self):
+        assert LAN.estimate_s(0, 0, 0) == 0.0
+
+
+class TestValidation:
+    def test_bandwidth_positive(self):
+        with pytest.raises(ConfigError):
+            NetworkModel("bad", bandwidth_bytes_per_s=0, rtt_s=0.01)
+
+    def test_rtt_non_negative(self):
+        with pytest.raises(ConfigError):
+            NetworkModel("bad", bandwidth_bytes_per_s=1, rtt_s=-1)

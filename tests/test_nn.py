@@ -1,0 +1,228 @@
+"""NN substrate: data generation, layers, training, model container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.data import synthetic_mnist
+from repro.nn.layers import AvgPool2d, Conv2d, Dense, Flatten, ReLU, im2col
+from repro.nn.model import Sequential, mnist_mlp
+from repro.nn.train import TrainConfig, softmax_cross_entropy, train_classifier
+
+
+class TestData:
+    def test_shapes_and_ranges(self, small_dataset):
+        assert small_dataset.train_x.shape == (600, 784)
+        assert small_dataset.test_x.shape == (150, 784)
+        assert small_dataset.train_x.min() >= 0.0
+        assert small_dataset.train_x.max() <= 1.0
+        assert set(np.unique(small_dataset.train_y)) <= set(range(10))
+
+    def test_deterministic(self):
+        a = synthetic_mnist(n_train=50, n_test=20, seed=5)
+        b = synthetic_mnist(n_train=50, n_test=20, seed=5)
+        assert (a.train_x == b.train_x).all()
+        assert (a.test_y == b.test_y).all()
+
+    def test_seed_changes_data(self):
+        a = synthetic_mnist(n_train=50, n_test=20, seed=5)
+        b = synthetic_mnist(n_train=50, n_test=20, seed=6)
+        assert (a.train_x != b.train_x).any()
+
+    def test_classes_are_separable(self, small_dataset):
+        # Centered-template correlation should classify almost perfectly.
+        from repro.nn.data import _class_templates
+
+        templates = _class_templates(99).reshape(10, -1)
+        templates = templates - templates.mean(axis=1, keepdims=True)
+        centered = small_dataset.test_x - small_dataset.test_x.mean(axis=1, keepdims=True)
+        predictions = np.argmax(centered @ templates.T, axis=1)
+        assert (predictions == small_dataset.test_y).mean() > 0.9
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ConfigError):
+            synthetic_mnist(n_train=5, n_test=100)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(10, 4, seed=0)
+        out = layer.forward(np.ones((3, 10)))
+        assert out.shape == (3, 4)
+
+    def test_gradient_check(self, rng):
+        layer = Dense(6, 3, seed=1)
+        x = rng.normal(size=(4, 6))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        layer.backward(grad_out)
+        eps = 1e-6
+        # numeric gradient for one weight entry
+        i, j = 1, 2
+        layer.weight[i, j] += eps
+        plus = (layer.forward(x) * grad_out).sum()
+        layer.weight[i, j] -= 2 * eps
+        minus = (layer.forward(x) * grad_out).sum()
+        layer.weight[i, j] += eps
+        layer.forward(x)
+        layer.backward(grad_out)
+        numeric = (plus - minus) / (2 * eps)
+        assert layer.grad_weight[i, j] == pytest.approx(numeric, rel=1e-4)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ConfigError):
+            Dense(3, 2).backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigError):
+            Dense(0, 5)
+
+
+class TestOtherLayers:
+    def test_relu(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0, 0.0]]))
+        assert out.tolist() == [[0.0, 2.0, 0.0]]
+        grad = layer.backward(np.array([[5.0, 5.0, 5.0]]))
+        assert grad.tolist() == [[0.0, 5.0, 0.0]]
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        flat = layer.forward(x)
+        assert flat.shape == (2, 12)
+        assert (layer.backward(flat) == x).all()
+
+    def test_im2col_shapes(self):
+        x = np.arange(2 * 1 * 5 * 5, dtype=np.float64).reshape(2, 1, 5, 5)
+        cols, oh, ow = im2col(x, 3, 3, 1)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (2, 9, 9)
+
+    def test_conv_matches_naive(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, seed=4)
+        x = rng.normal(size=(1, 2, 6, 6))
+        out = conv.forward(x)
+        assert out.shape == (1, 3, 4, 4)
+        # naive reference at one output position
+        kernel = conv.weight.reshape(3, 2, 3, 3)
+        patch = x[0, :, 1 : 1 + 3, 2 : 2 + 3]
+        expect = (kernel[1] * patch).sum() + conv.bias[1]
+        assert out[0, 1, 1, 2] == pytest.approx(expect)
+
+    def test_conv_kernel_too_big(self):
+        conv = Conv2d(1, 1, kernel_size=9)
+        with pytest.raises(ConfigError):
+            conv.forward(np.zeros((1, 1, 5, 5)))
+
+    def test_avgpool(self):
+        pool = AvgPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_avgpool_divisibility(self):
+        with pytest.raises(ConfigError):
+            AvgPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+
+
+class TestTraining:
+    def test_softmax_cross_entropy_gradient_direction(self):
+        logits = np.array([[2.0, 0.0, 0.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0]))
+        assert loss > 0
+        assert grad[0, 0] < 0  # push the true class up
+        assert grad[0, 1] > 0
+
+    def test_training_reduces_loss(self, small_dataset):
+        model = mnist_mlp(seed=3, hidden=16)
+        history = train_classifier(
+            model,
+            small_dataset.train_x[:300],
+            small_dataset.train_y[:300],
+            TrainConfig(epochs=3, seed=0),
+        )
+        assert history[-1] < history[0]
+
+    def test_trained_model_beats_chance(self, trained_model, small_dataset):
+        acc = trained_model.accuracy(small_dataset.test_x, small_dataset.test_y)
+        assert acc > 0.8
+
+    def test_shape_mismatch_rejected(self):
+        model = mnist_mlp(seed=0, hidden=8)
+        with pytest.raises(ConfigError):
+            train_classifier(model, np.zeros((10, 784)), np.zeros(9, dtype=np.int64))
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Sequential([])
+
+    def test_mnist_mlp_structure(self):
+        model = mnist_mlp(hidden=32)
+        dense = model.dense_layers
+        assert [d.weight.shape for d in dense] == [(32, 784), (32, 32), (10, 32)]
+
+    def test_predict_shape(self, trained_model, small_dataset):
+        preds = trained_model.predict(small_dataset.test_x[:7])
+        assert preds.shape == (7,)
+
+
+class TestConvTraining:
+    def test_conv_gradient_check(self, rng):
+        conv = Conv2d(2, 3, kernel_size=3, seed=1)
+        x = rng.normal(size=(2, 2, 5, 5))
+        out = conv.forward(x)
+        grad = rng.normal(size=out.shape)
+        grad_x = conv.backward(grad)
+        eps = 1e-6
+        i, j = 1, 4
+        conv.weight[i, j] += eps
+        plus = (conv.forward(x) * grad).sum()
+        conv.weight[i, j] -= 2 * eps
+        minus = (conv.forward(x) * grad).sum()
+        conv.weight[i, j] += eps
+        conv.forward(x)
+        conv.backward(grad)
+        assert conv.grad_weight[i, j] == pytest.approx((plus - minus) / (2 * eps), rel=1e-4)
+        # input gradient at one coordinate
+        k = (0, 1, 2, 3)
+        x2 = x.copy()
+        x2[k] += eps
+        p1 = (conv.forward(x2) * grad).sum()
+        x2[k] -= 2 * eps
+        p2 = (conv.forward(x2) * grad).sum()
+        assert grad_x[k] == pytest.approx((p1 - p2) / (2 * eps), rel=1e-4)
+
+    def test_conv_backward_before_forward(self):
+        with pytest.raises(ConfigError):
+            Conv2d(1, 1, kernel_size=2).backward(np.zeros((1, 1, 2, 2)))
+
+    def test_avgpool_backward_spreads_gradient(self):
+        pool = AvgPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad.shape == x.shape
+        assert np.allclose(grad, 0.25)
+
+    def test_cnn_trains_on_synthetic_digits(self, small_dataset):
+        model = Sequential(
+            [
+                Conv2d(1, 6, kernel_size=5, stride=3, seed=2),
+                ReLU(),
+                Flatten(),
+                Dense(6 * 8 * 8, 10, seed=3),
+            ]
+        )
+        xs = small_dataset.train_x.reshape(-1, 1, 28, 28)
+        history = train_classifier(
+            model, xs, small_dataset.train_y,
+            TrainConfig(epochs=3, learning_rate=0.03),
+        )
+        assert history[-1] < history[0]
+        test_imgs = small_dataset.test_x.reshape(-1, 1, 28, 28)
+        acc = float((model.predict(test_imgs) == small_dataset.test_y).mean())
+        assert acc > 0.6

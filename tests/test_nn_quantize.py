@@ -1,0 +1,105 @@
+"""Model quantization: accuracy retention, integer reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.nn.layers import AvgPool2d, Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.quantize import quantize_model
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return Ring(32)
+
+
+class TestQuantizeModel:
+    @pytest.mark.parametrize(
+        "bits_tuple,max_drop", [((2, 2, 2, 2), 0.05), ((2, 2, 2), 0.05), ((2, 2), 0.15), ((2, 1), 0.45)]
+    )
+    def test_accuracy_retained(self, bits_tuple, max_drop, trained_model, small_dataset, ring):
+        scheme = FragmentScheme.from_bits(bits_tuple)
+        qm = quantize_model(trained_model, scheme, ring, frac_bits=6)
+        float_acc = trained_model.accuracy(small_dataset.test_x, small_dataset.test_y)
+        q_acc = qm.accuracy(small_dataset.test_x, small_dataset.test_y)
+        assert q_acc >= float_acc - max_drop
+
+    def test_ternary_still_useful(self, trained_model, small_dataset, ring):
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), ring, frac_bits=6)
+        assert qm.accuracy(small_dataset.test_x, small_dataset.test_y) > 0.4
+
+    def test_logits_close_to_float(self, trained_model, small_dataset, ring):
+        qm = quantize_model(
+            trained_model, FragmentScheme.from_bits((2, 2, 2, 2)), ring, frac_bits=8
+        )
+        x = small_dataset.test_x[:10]
+        got = qm.logits_float(x)
+        expect = trained_model.forward(x)
+        assert np.abs(got - expect).max() < 1.0
+
+    def test_activations_fit_ring(self, trained_model, small_dataset, ring):
+        qm = quantize_model(
+            trained_model, FragmentScheme.from_bits((2, 2, 2, 2)), ring, frac_bits=6
+        )
+        qm.check_range(small_dataset.test_x)  # must not raise
+
+    def test_range_check_fires_for_narrow_ring(self, trained_model, small_dataset):
+        tiny = Ring(12)
+        qm = quantize_model(
+            trained_model, FragmentScheme.from_bits((2, 2, 2, 2)), tiny, frac_bits=6
+        )
+        with pytest.raises(QuantizationError):
+            qm.check_range(small_dataset.test_x)
+
+    def test_truncation_set_for_pow2_schemes(self, trained_model, ring):
+        qm = quantize_model(trained_model, FragmentScheme.from_bits((2, 2)), ring)
+        assert qm.layers[0].truncate_bits > 0
+        assert qm.layers[-1].truncate_bits == 0  # last layer never truncates
+
+    def test_no_truncation_for_float_scale_schemes(self, trained_model, ring):
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), ring)
+        assert all(layer.truncate_bits == 0 for layer in qm.layers)
+        assert qm.output_deferral != 1.0
+
+    def test_per_layer_schemes(self, trained_model, ring):
+        schemes = [
+            FragmentScheme.from_bits((2, 2, 2, 2)),
+            FragmentScheme.from_bits((2, 2)),
+            FragmentScheme.ternary(),
+        ]
+        qm = quantize_model(trained_model, schemes, ring)
+        assert [l.scheme.name for l in qm.layers] == ["8(2,2,2,2)", "4(2,2)", "ternary"]
+
+    def test_scheme_count_mismatch(self, trained_model, ring):
+        with pytest.raises(QuantizationError):
+            quantize_model(trained_model, [FragmentScheme.ternary()], ring)
+
+    def test_unsupported_layer_rejected(self, ring):
+        model = Sequential([Dense(4, 4), AvgPool2d(2)])
+        with pytest.raises(QuantizationError):
+            quantize_model(model, FragmentScheme.ternary(), ring)
+
+    def test_bias_folded(self, ring, rng):
+        # A model that is just bias: y = 0 * x + b.
+        layer = Dense(2, 2, seed=0)
+        layer.weight[:] = 0.0
+        layer.bias[:] = [1.0, -2.0]
+        qm = quantize_model(Sequential([layer]), FragmentScheme.from_bits((2, 2)), ring, frac_bits=6)
+        logits = qm.logits_float(np.zeros((1, 2)))
+        assert logits[0] == pytest.approx([1.0, -2.0], abs=0.1)
+
+
+class TestTruncateExact:
+    def test_matches_arithmetic_shift(self, trained_model, ring):
+        qm = quantize_model(trained_model, FragmentScheme.from_bits((2, 2)), ring)
+        values = ring.reduce(np.array([1024, -1024, 1023, -1023, 0]))
+        got = ring.to_signed(qm.truncate_exact(values, 4))
+        assert got.tolist() == [64, -64, 63, -64, 0]
+
+    def test_zero_bits_identity(self, trained_model, ring, rng):
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), ring)
+        values = ring.sample(rng, 10)
+        assert (qm.truncate_exact(values, 0) == values).all()

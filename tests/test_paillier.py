@@ -1,0 +1,129 @@
+"""Paillier encryption and slot packing (MiniONN substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import paillier
+from repro.errors import CryptoError
+from repro.utils.rng import make_rng
+
+KEY_BITS = 256  # tests only; see module docs
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return paillier.keygen(KEY_BITS, seed=7)
+
+
+class TestKeygen:
+    def test_key_size(self, keypair):
+        pk, _sk = keypair
+        assert pk.n.bit_length() == KEY_BITS
+        assert pk.ciphertext_bytes == 2 * KEY_BITS // 8
+
+    def test_deterministic_with_seed(self):
+        pk1, _ = paillier.keygen(KEY_BITS, seed=3)
+        pk2, _ = paillier.keygen(KEY_BITS, seed=3)
+        assert pk1.n == pk2.n
+
+    def test_different_seeds_differ(self):
+        pk1, _ = paillier.keygen(KEY_BITS, seed=3)
+        pk2, _ = paillier.keygen(KEY_BITS, seed=4)
+        assert pk1.n != pk2.n
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, keypair, rng):
+        pk, sk = keypair
+        for m in (0, 1, 12345, pk.n - 1):
+            assert paillier.decrypt(sk, paillier.encrypt(pk, m, rng)) == m
+
+    def test_probabilistic(self, keypair, rng):
+        pk, _ = keypair
+        assert paillier.encrypt(pk, 5, rng) != paillier.encrypt(pk, 5, rng)
+
+    def test_plaintext_range(self, keypair, rng):
+        pk, _ = keypair
+        with pytest.raises(CryptoError):
+            paillier.encrypt(pk, pk.n, rng)
+        with pytest.raises(CryptoError):
+            paillier.encrypt(pk, -1, rng)
+
+    def test_ciphertext_range_check(self, keypair):
+        _, sk = keypair
+        with pytest.raises(CryptoError):
+            paillier.decrypt(sk, sk.public.n_squared)
+
+
+class TestHomomorphism:
+    def test_additive(self, keypair, rng):
+        pk, sk = keypair
+        c = paillier.add(pk, paillier.encrypt(pk, 100, rng), paillier.encrypt(pk, 23, rng))
+        assert paillier.decrypt(sk, c) == 123
+
+    def test_scalar_mul(self, keypair, rng):
+        pk, sk = keypair
+        c = paillier.scalar_mul(pk, paillier.encrypt(pk, 7, rng), 9)
+        assert paillier.decrypt(sk, c) == 63
+
+    def test_scalar_mul_rejects_negative(self, keypair, rng):
+        pk, _ = keypair
+        with pytest.raises(CryptoError):
+            paillier.scalar_mul(pk, paillier.encrypt(pk, 7, rng), -1)
+
+    def test_dot_product(self, keypair, rng):
+        pk, sk = keypair
+        ws = [3, 0, 7, 2]
+        rs = [11, 5, 2, 9]
+        acc = paillier.encrypt(pk, 0, rng)
+        for w, r in zip(ws, rs):
+            if w:
+                acc = paillier.add(pk, acc, paillier.scalar_mul(pk, paillier.encrypt(pk, r, rng), w))
+        assert paillier.decrypt(sk, acc) == sum(w * r for w, r in zip(ws, rs))
+
+
+class TestPacking:
+    def test_pack_unpack(self, keypair):
+        pk, _ = keypair
+        packing = paillier.SlotPacking.for_accumulation(pk, value_bits=16, scalar_bits=8, n_terms=4)
+        values = [1, 2, 3]
+        assert packing.unpack(packing.pack(values), 3) == values
+
+    def test_slot_overflow_rejected(self):
+        packing = paillier.SlotPacking(slot_bits=8, slots=4)
+        with pytest.raises(CryptoError):
+            packing.pack([256])
+
+    def test_too_many_values(self):
+        packing = paillier.SlotPacking(slot_bits=8, slots=2)
+        with pytest.raises(CryptoError):
+            packing.pack([1, 2, 3])
+        with pytest.raises(CryptoError):
+            packing.unpack(0, 3)
+
+    def test_homomorphic_packed_accumulation(self, keypair, rng):
+        # The exact access pattern MiniONN uses: same scalar on all slots.
+        pk, sk = keypair
+        packing = paillier.SlotPacking.for_accumulation(pk, value_bits=8, scalar_bits=8, n_terms=2)
+        slots = min(packing.slots, 3)
+        r1, r2 = [5, 9, 12][:slots], [1, 3, 7][:slots]
+        c1 = paillier.encrypt(pk, packing.pack(r1), rng)
+        c2 = paillier.encrypt(pk, packing.pack(r2), rng)
+        acc = paillier.add(pk, paillier.scalar_mul(pk, c1, 4), paillier.scalar_mul(pk, c2, 6))
+        got = packing.unpack(paillier.decrypt(sk, acc), slots)
+        assert got == [4 * a + 6 * b for a, b in zip(r1, r2)]
+
+    def test_slot_too_large_for_key(self, keypair):
+        pk, _ = keypair
+        with pytest.raises(CryptoError):
+            paillier.SlotPacking.for_accumulation(pk, value_bits=200, scalar_bits=200, n_terms=2)
+
+
+class TestPrimality:
+    def test_random_prime_is_prime(self):
+        rng = make_rng(5)
+        p = paillier._random_prime(64, rng)
+        assert p.bit_length() == 64
+        # trial divide by small numbers
+        for d in range(2, 1000):
+            assert p % d != 0 or p == d

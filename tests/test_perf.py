@@ -1,0 +1,137 @@
+"""Cost models, bench rows, and table formatting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.netsim import LAN, WAN_SECUREML
+from repro.perf.costmodel import (
+    abnn2_comm_bits,
+    abnn2_ot_count,
+    gc_relu_comm_bits,
+    minionn_comm_model_mb,
+    network_offline_comm_bits,
+    secureml_comm_bits,
+    secureml_ot_count,
+)
+from repro.perf.timing import BenchRow, format_table, simulate_settings
+from repro.quant.fragments import TABLE2_SCHEMES, FragmentScheme
+
+MB = 1024 * 1024
+FIG4_LAYERS = [(128, 784), (128, 128), (10, 128)]
+
+
+class TestSecureMlModel:
+    def test_table1_formulas(self):
+        # l = 64: #OT per mult = 64*65/128 = 32.5
+        assert secureml_ot_count(1, 1, 1, 64) == pytest.approx(32.5)
+        assert secureml_comm_bits(1, 1, 1, 64) == pytest.approx(64 * 65 * 3)
+
+    def test_scales_with_batch(self):
+        assert secureml_comm_bits(2, 3, 4, 32) == 4 * secureml_comm_bits(2, 3, 1, 32)
+
+
+class TestAbnn2Model:
+    def test_ot_count_table1(self):
+        scheme = TABLE2_SCHEMES["8(2,2,2,2)"]
+        assert abnn2_ot_count(scheme, 128, 784) == 4 * 128 * 784
+
+    def test_one_batch_formula(self):
+        scheme = FragmentScheme.binary()
+        got = abnn2_comm_bits(scheme, 1, 1, 1, 32, "one")
+        assert got == 32 * 1 + 256
+
+    def test_multi_batch_formula(self):
+        scheme = FragmentScheme.binary()
+        got = abnn2_comm_bits(scheme, 1, 1, 8, 32, "multi")
+        assert got == 8 * 32 * 2 + 256
+
+    def test_auto_mode(self):
+        scheme = FragmentScheme.binary()
+        assert abnn2_comm_bits(scheme, 1, 1, 1, 32) == abnn2_comm_bits(scheme, 1, 1, 1, 32, "one")
+        assert abnn2_comm_bits(scheme, 1, 1, 2, 32) == abnn2_comm_bits(scheme, 1, 1, 2, 32, "multi")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigError):
+            abnn2_comm_bits(FragmentScheme.binary(), 1, 1, 1, 32, "banana")
+
+    def test_table2_binary_batch1_magnitude(self):
+        # Paper: binary, batch 1, l=32 -> 4.06 MB offline for the Fig-4 net.
+        bits = network_offline_comm_bits(FIG4_LAYERS, FragmentScheme.binary(), 1, 32)
+        mb = bits / 8 / MB
+        assert 3.3 <= mb <= 5.0
+
+    def test_table2_2222_batch1_magnitude(self):
+        # Paper: (2,2,2,2), batch 1 -> 19.52 MB.
+        scheme = TABLE2_SCHEMES["8(2,2,2,2)"]
+        mb = network_offline_comm_bits(FIG4_LAYERS, scheme, 1, 32) / 8 / MB
+        assert 17.0 <= mb <= 23.0
+
+    def test_table2_orderings(self):
+        """The comm orderings of Table 2 hold in the model."""
+
+        def mb(name, batch):
+            return network_offline_comm_bits(FIG4_LAYERS, TABLE2_SCHEMES[name], batch, 32)
+
+        # batch 1: (3,3,2) < (2,2,2,2) < (4,4) < (1,...,1)
+        assert mb("8(3,3,2)", 1) < mb("8(2,2,2,2)", 1) < mb("8(4,4)", 1) < mb("8(1,...,1)", 1)
+        # batch 128: (2,2,2,2) < (1,...,1) < (3,3,2) < (4,4)
+        assert (
+            mb("8(2,2,2,2)", 128)
+            < mb("8(1,...,1)", 128)
+            < mb("8(3,3,2)", 128)
+            < mb("8(4,4)", 128)
+        )
+        # smaller eta is always cheaper; ternary < any multi-bit; binary cheapest
+        assert mb("binary", 1) < mb("ternary", 1) < mb("3(2,1)", 1) < mb("4(2,2)", 1)
+
+    def test_secureml_comparison_ratio(self):
+        """Table 3's comm gap: ~4x for 8-bit, ~20x+ for ternary at l=64."""
+        m, n = 128, 1000
+        sm = secureml_comm_bits(m, n, 1, 64)
+        ab8 = abnn2_comm_bits(TABLE2_SCHEMES["8(2,2,2,2)"], m, n, 1, 64, "one")
+        ab_ternary = abnn2_comm_bits(TABLE2_SCHEMES["ternary"], m, n, 1, 64, "one")
+        assert 3.0 < sm / ab8 < 8.0
+        assert 15.0 < sm / ab_ternary < 40.0
+
+
+class TestGcModel:
+    def test_scales_linearly(self):
+        assert gc_relu_comm_bits(32, 10) == 10 * gc_relu_comm_bits(32, 1)
+
+    def test_grows_with_width(self):
+        assert gc_relu_comm_bits(64, 1) > gc_relu_comm_bits(32, 1)
+
+
+class TestMinionnModel:
+    def test_anchors(self):
+        assert minionn_comm_model_mb(1) == pytest.approx(18.1)
+        assert minionn_comm_model_mb(128) == pytest.approx(1621.3)
+
+    def test_monotone(self):
+        assert minionn_comm_model_mb(64) < minionn_comm_model_mb(128)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigError):
+            minionn_comm_model_mb(0)
+
+
+class TestBenchRows:
+    def test_projection(self):
+        row = BenchRow("x", compute_s=1.0, payload_bytes=9 * MB, rounds=10)
+        assert row.projected_s(WAN_SECUREML) == pytest.approx(1.0 + 1.0 + 0.72)
+        assert row.comm_mb == pytest.approx(9.0)
+
+    def test_as_dict_contains_models(self):
+        row = BenchRow("x", 0.5, MB, 2, extras={"note": "hi"})
+        d = row.as_dict([LAN, WAN_SECUREML])
+        assert "LAN_s" in d and "WAN-9MBps-72ms_s" in d and d["note"] == "hi"
+
+    def test_format_table_renders(self):
+        rows = [BenchRow("a", 0.1, MB, 1), BenchRow("b", 0.2, 2 * MB, 2)]
+        text = format_table(rows, [LAN], title="demo")
+        assert "demo" in text and "a" in text and "b" in text and "LAN_s" in text
+
+    def test_simulate_settings(self):
+        assert simulate_settings("table2") == [LAN]
+        assert len(simulate_settings("table3")) == 2
+        assert len(simulate_settings("everything")) == 3

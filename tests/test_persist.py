@@ -1,0 +1,116 @@
+"""Model/metadata persistence roundtrips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ModelMeta
+from repro.errors import ConfigError
+from repro.nn.layers import Conv2d, Dense, Flatten, ReLU
+from repro.nn.model import Sequential
+from repro.nn.persist import (
+    load_meta,
+    load_model,
+    save_meta,
+    save_model,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+from repro.nn.quantize import quantize_model
+from repro.quant.fragments import TABLE2_SCHEMES, FragmentScheme
+from repro.utils.ring import Ring
+
+
+class TestSchemeDict:
+    @pytest.mark.parametrize("name", sorted(TABLE2_SCHEMES))
+    def test_roundtrip(self, name):
+        scheme = TABLE2_SCHEMES[name]
+        restored = scheme_from_dict(scheme_to_dict(scheme))
+        assert restored.name == scheme.name
+        assert restored.gamma == scheme.gamma
+        assert restored.weight_range == scheme.weight_range
+        for i in range(scheme.gamma):
+            assert (restored.values(i) == scheme.values(i)).all()
+
+    def test_json_serializable(self):
+        json.dumps(scheme_to_dict(FragmentScheme.from_bits((3, 3, 2))))
+
+
+class TestModelBundle:
+    def test_roundtrip_mlp(self, trained_model, small_dataset, tmp_path):
+        qm = quantize_model(
+            trained_model, FragmentScheme.from_bits((2, 2)), Ring(32), frac_bits=6
+        )
+        path = tmp_path / "model.npz"
+        save_model(path, qm)
+        restored = load_model(path)
+
+        x = small_dataset.test_x[:5]
+        assert (restored.predict(x) == qm.predict(x)).all()
+        got = restored.forward_int(restored.encoder.encode(x.T))
+        expect = qm.forward_int(qm.encoder.encode(x.T))
+        assert (got == expect).all()
+        assert restored.output_deferral == qm.output_deferral
+
+    def test_roundtrip_conv(self, tmp_path, rng):
+        model = Sequential(
+            [Conv2d(1, 2, kernel_size=3, seed=1), ReLU(), Flatten(), Dense(2 * 36, 4, seed=2)]
+        )
+        qm = quantize_model(
+            model, FragmentScheme.ternary(), Ring(32), frac_bits=6, input_shape=(1, 8, 8)
+        )
+        path = tmp_path / "conv.npz"
+        save_model(path, qm)
+        restored = load_model(path)
+        x = rng.uniform(0, 1, size=(2, 64))
+        assert (restored.predict(x) == qm.predict(x)).all()
+        assert restored.layers[0].conv == qm.layers[0].conv
+
+    def test_version_check(self, trained_model, tmp_path):
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), Ring(32))
+        path = tmp_path / "model.npz"
+        save_model(path, qm)
+        # tamper with the version
+        with np.load(path) as bundle:
+            arrays = {k: bundle[k] for k in bundle.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["format_version"] = 999
+        arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+        with pytest.raises(ConfigError):
+            load_model(path)
+
+
+class TestMetaFile:
+    def test_roundtrip(self, trained_model, tmp_path):
+        qm = quantize_model(trained_model, FragmentScheme.from_bits((2, 1)), Ring(32))
+        meta = ModelMeta.from_model(qm)
+        path = tmp_path / "meta.json"
+        save_meta(path, meta)
+        restored = load_meta(path)
+        assert restored.ring_bits == meta.ring_bits
+        assert restored.frac_bits == meta.frac_bits
+        assert len(restored.layers) == len(meta.layers)
+        for a, b in zip(restored.layers, meta.layers):
+            assert (a.out_features, a.in_features) == (b.out_features, b.in_features)
+            assert a.scheme.name == b.scheme.name
+            assert a.truncate_bits == b.truncate_bits
+
+    def test_meta_contains_no_weights(self, trained_model, tmp_path):
+        qm = quantize_model(trained_model, FragmentScheme.ternary(), Ring(32))
+        path = tmp_path / "meta.json"
+        save_meta(path, ModelMeta.from_model(qm))
+        text = path.read_text()
+        doc = json.loads(text)
+        # only architecture keys; nothing resembling a weight array
+        assert "layers" in doc
+        assert all("w" not in layer or layer["w"] is None for layer in doc["layers"])
+        assert len(text) < 20_000  # weights would be megabytes
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "meta.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ConfigError):
+            load_meta(path)

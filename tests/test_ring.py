@@ -1,0 +1,146 @@
+"""Ring arithmetic over Z_{2^l}: reduction, wraparound, signedness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.utils.ring import Ring, reconstruct
+
+
+class TestConstruction:
+    def test_valid_widths(self):
+        for bits in (1, 8, 32, 63, 64):
+            assert Ring(bits).bits == bits
+
+    @pytest.mark.parametrize("bits", [0, -3, 65, 100])
+    def test_invalid_widths_rejected(self, bits):
+        with pytest.raises(ConfigError):
+            Ring(bits)
+
+    def test_modulus_and_nbytes(self):
+        assert Ring(32).modulus == 1 << 32
+        assert Ring(32).nbytes == 4
+        assert Ring(33).nbytes == 5
+        assert Ring(64).nbytes == 8
+
+    def test_equality_and_hash(self):
+        assert Ring(32) == Ring(32)
+        assert Ring(32) != Ring(64)
+        assert hash(Ring(16)) == hash(Ring(16))
+        assert "32" in repr(Ring(32))
+
+
+class TestReduce:
+    def test_negative_maps_to_twos_complement(self, ring32):
+        assert int(ring32.reduce(-1)) == (1 << 32) - 1
+        assert int(ring32.reduce(-5)) == (1 << 32) - 5
+
+    def test_large_positive_wraps(self, ring32):
+        assert int(ring32.reduce((1 << 32) + 7)) == 7
+
+    def test_floats_rejected(self, ring32):
+        with pytest.raises(ConfigError):
+            ring32.reduce(np.array([1.5]))
+
+    def test_64_bit_identity_on_uint64(self, ring64):
+        values = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert (ring64.reduce(values) == values).all()
+
+
+class TestArithmetic:
+    def test_add_wraps(self, ring32):
+        top = (1 << 32) - 1
+        assert int(ring32.add(top, 1)) == 0
+
+    def test_sub_wraps(self, ring32):
+        assert int(ring32.sub(0, 1)) == (1 << 32) - 1
+
+    def test_neg(self, ring32):
+        assert int(ring32.add(ring32.neg(77), 77)) == 0
+
+    def test_mul_wraps(self, ring32):
+        got = int(ring32.mul(1 << 20, 1 << 20))
+        assert got == (1 << 40) % (1 << 32)
+
+    def test_sum_axis(self, ring32):
+        arr = ring32.reduce(np.arange(10).reshape(2, 5))
+        assert (ring32.sum(arr, axis=1) == np.array([10, 35], dtype=np.uint64)).all()
+
+    @given(a=st.integers(-(2**40), 2**40), b=st.integers(-(2**40), 2**40))
+    @settings(max_examples=80, deadline=None)
+    def test_ops_match_python_mod(self, a, b):
+        ring = Ring(32)
+        mod = 1 << 32
+        assert int(ring.add(ring.reduce(a), ring.reduce(b))) == (a + b) % mod
+        assert int(ring.sub(ring.reduce(a), ring.reduce(b))) == (a - b) % mod
+        assert int(ring.mul(ring.reduce(a), ring.reduce(b))) == (a * b) % mod
+
+
+class TestMatmulDot:
+    def test_matmul_matches_python(self, ring32, rng):
+        a = rng.integers(0, 1 << 31, size=(4, 6), dtype=np.uint64)
+        b = rng.integers(0, 1 << 31, size=(6, 3), dtype=np.uint64)
+        got = ring32.matmul(a, b)
+        expect = (a.astype(object) @ b.astype(object)) % (1 << 32)
+        assert (got.astype(object) == expect).all()
+
+    def test_matmul_wraps(self, ring32):
+        a = np.full((1, 2), (1 << 31), dtype=np.uint64)
+        b = np.full((2, 1), 2, dtype=np.uint64)
+        assert int(ring32.matmul(a, b)[0, 0]) == 0
+
+    def test_matmul_shape_check(self, ring32):
+        with pytest.raises(ConfigError):
+            ring32.matmul(np.zeros((2, 3), dtype=np.uint64), np.zeros((2, 3), dtype=np.uint64))
+
+    def test_dot(self, ring32):
+        a = ring32.reduce(np.array([1, 2, 3]))
+        b = ring32.reduce(np.array([4, 5, 6]))
+        assert int(ring32.dot(a, b)) == 32
+
+    def test_dot_shape_check(self, ring32):
+        with pytest.raises(ConfigError):
+            ring32.dot(np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64))
+
+
+class TestSigned:
+    @pytest.mark.parametrize("bits", [8, 32, 64])
+    def test_roundtrip_signed(self, bits):
+        ring = Ring(bits)
+        values = np.array([0, 1, -1, 2 ** (bits - 1) - 1, -(2 ** (bits - 1))], dtype=np.int64)
+        assert (ring.to_signed(ring.reduce(values)) == values).all()
+
+    def test_to_signed_threshold(self):
+        ring = Ring(8)
+        assert ring.to_signed(np.uint64(127)) == 127
+        assert ring.to_signed(np.uint64(128)) == -128
+        assert ring.to_signed(np.uint64(255)) == -1
+
+
+class TestSample:
+    @pytest.mark.parametrize("bits", [1, 8, 32, 64])
+    def test_sample_within_ring(self, bits, rng):
+        ring = Ring(bits)
+        sample = ring.sample(rng, 2000)
+        if bits < 64:
+            assert (sample < np.uint64(1 << bits)).all()
+
+    def test_sample_covers_high_bit(self, rng):
+        ring = Ring(64)
+        sample = ring.sample(rng, 2000)
+        assert (sample >> np.uint64(63)).any(), "top bit never set: biased sampling"
+
+    def test_sample_roughly_uniform(self, rng):
+        ring = Ring(8)
+        sample = ring.sample(rng, 20000)
+        counts = np.bincount(sample.astype(np.int64), minlength=256)
+        assert counts.min() > 30  # ~78 expected per bucket
+
+
+def test_reconstruct_sums_shares(ring32, rng):
+    x = ring32.sample(rng, (3, 4))
+    s1 = ring32.sample(rng, (3, 4))
+    s0 = ring32.sub(x, s1)
+    assert (reconstruct(ring32, s0, s1) == x).all()

@@ -1,0 +1,81 @@
+"""Channel message encoding: roundtrips, sizes, malformed input."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.utils import serialization as ser
+
+
+class TestRoundtrip:
+    def test_bytes(self):
+        assert ser.decode(ser.encode(b"hello")) == b"hello"
+
+    def test_empty_bytes(self):
+        assert ser.decode(ser.encode(b"")) == b""
+
+    def test_int(self):
+        assert ser.decode(ser.encode(42)) == 42
+        assert ser.decode(ser.encode(-7)) == -7
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint32, np.uint64, np.int32, np.int64, np.bool_]
+    )
+    def test_arrays(self, dtype, rng):
+        arr = rng.integers(0, 100, size=(3, 4)).astype(dtype)
+        out = ser.decode(ser.encode(arr))
+        assert out.dtype == arr.dtype
+        assert (out == arr).all()
+
+    def test_scalar_shape_array(self):
+        arr = np.array(5, dtype=np.uint64)
+        out = ser.decode(ser.encode(arr))
+        assert out.shape == ()
+        assert out == 5
+
+    def test_tuple_nested(self):
+        obj = (b"abc", 5, np.arange(3, dtype=np.uint64), (1, 2))
+        out = ser.decode(ser.encode(obj))
+        assert out[0] == b"abc" and out[1] == 5
+        assert (out[2] == np.arange(3)).all()
+        assert out[3] == (1, 2)
+
+    def test_noncontiguous_array(self):
+        arr = np.arange(20, dtype=np.uint64).reshape(4, 5)[:, ::2]
+        assert (ser.decode(ser.encode(arr)) == arr).all()
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(ProtocolError):
+            ser.encode({"a": 1})
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ProtocolError):
+            ser.encode(np.zeros(2, dtype=np.float64))
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ProtocolError):
+            ser.decode(ser.encode(5) + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises((ProtocolError, IndexError, KeyError)):
+            ser.decode(b"\xff")
+
+
+class TestPayloadSize:
+    def test_bytes_size(self):
+        assert ser.payload_nbytes(b"abcd") == 4
+
+    def test_array_size(self):
+        assert ser.payload_nbytes(np.zeros((2, 3), dtype=np.uint32)) == 24
+
+    def test_int_size(self):
+        assert ser.payload_nbytes(7) == 8
+
+    def test_tuple_size(self):
+        assert ser.payload_nbytes((b"ab", np.zeros(2, dtype=np.uint64))) == 2 + 16
+
+    def test_size_error(self):
+        with pytest.raises(ProtocolError):
+            ser.payload_nbytes(3.14)

@@ -1,0 +1,72 @@
+"""Additive secret sharing over Z_{2^l}."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharing import AdditiveSharing, reconstruct, share
+from repro.utils.ring import Ring
+
+
+class TestShareReconstruct:
+    def test_roundtrip_array(self, ring32, rng):
+        x = ring32.sample(rng, (4, 5))
+        s0, s1 = share(ring32, x, rng)
+        assert (reconstruct(ring32, s0, s1) == x).all()
+
+    def test_roundtrip_scalar(self, ring32, rng):
+        s0, s1 = share(ring32, 42, rng)
+        assert int(reconstruct(ring32, s0, s1)) == 42
+
+    def test_negative_values(self, ring32, rng):
+        s0, s1 = share(ring32, -17, rng)
+        assert ring32.to_signed(reconstruct(ring32, s0, s1)) == -17
+
+    def test_shares_look_random(self, ring32, rng):
+        # Sharing the same value twice must give different shares.
+        a0, _ = share(ring32, 7, rng)
+        b0, _ = share(ring32, 7, rng)
+        assert int(a0) != int(b0)
+
+    @given(value=st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value):
+        ring = Ring(32)
+        rng = np.random.default_rng(abs(value) + 1)
+        s0, s1 = share(ring, value, rng)
+        assert int(ring.to_signed(reconstruct(ring, s0, s1))) == value
+
+
+class TestLocalOps:
+    @pytest.fixture
+    def sharing(self, ring32):
+        return AdditiveSharing(ring32)
+
+    def test_add_local(self, sharing, ring32, rng):
+        x, y = ring32.sample(rng, 5), ring32.sample(rng, 5)
+        x0, x1 = sharing.share(x, rng)
+        y0, y1 = sharing.share(y, rng)
+        got = sharing.reconstruct(sharing.add_local(x0, y0), sharing.add_local(x1, y1))
+        assert (got == ring32.add(x, y)).all()
+
+    def test_sub_local(self, sharing, ring32, rng):
+        x, y = ring32.sample(rng, 5), ring32.sample(rng, 5)
+        x0, x1 = sharing.share(x, rng)
+        y0, y1 = sharing.share(y, rng)
+        got = sharing.reconstruct(sharing.sub_local(x0, y0), sharing.sub_local(x1, y1))
+        assert (got == ring32.sub(x, y)).all()
+
+    def test_mul_public(self, sharing, ring32, rng):
+        x = ring32.sample(rng, 5)
+        x0, x1 = sharing.share(x, rng)
+        got = sharing.reconstruct(sharing.mul_public(x0, 3), sharing.mul_public(x1, 3))
+        assert (got == ring32.mul(x, np.uint64(3))).all()
+
+    def test_add_public_only_one_party(self, sharing, ring32, rng):
+        x = ring32.sample(rng, 5)
+        x0, x1 = sharing.share(x, rng)
+        got = sharing.reconstruct(
+            sharing.add_public(x0, 10, party=0), sharing.add_public(x1, 10, party=1)
+        )
+        assert (got == ring32.add(x, np.uint64(10))).all()

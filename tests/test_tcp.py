@@ -1,0 +1,124 @@
+"""TCP transport: framing, accounting, and full protocols over sockets."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_client,
+    generate_triplets_server,
+)
+from repro.errors import ChannelError
+from repro.net import tcp
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _tcp_pair(timeout_s=10.0):
+    port = _free_port()
+    box = {}
+
+    def _serve():
+        box["server"] = tcp.listen(port, timeout_s=timeout_s)
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    client = tcp.connect("127.0.0.1", port, timeout_s=timeout_s)
+    thread.join(timeout=timeout_s)
+    return box["server"], client
+
+
+class TestFraming:
+    def test_roundtrip_objects(self, rng):
+        server, client = _tcp_pair()
+        try:
+            arr = rng.integers(0, 1 << 40, size=(7, 3), dtype=np.uint64)
+            server.send((b"header", 42, arr))
+            got = client.recv()
+            assert got[0] == b"header" and got[1] == 42
+            assert (got[2] == arr).all()
+            client.send(b"reply")
+            assert server.recv() == b"reply"
+        finally:
+            server.close()
+            client.close()
+
+    def test_large_message(self, rng):
+        server, client = _tcp_pair()
+        try:
+            blob = rng.integers(0, 255, size=3_000_000, dtype=np.uint8).tobytes()
+            server.send(blob)
+            assert client.recv() == blob
+        finally:
+            server.close()
+            client.close()
+
+    def test_stats_agree_between_endpoints(self):
+        server, client = _tcp_pair()
+        try:
+            server.send(b"12345678")
+            client.recv()
+            client.send(b"12")
+            server.recv()
+            assert server.stats.total_bytes == client.stats.total_bytes == 10
+        finally:
+            server.close()
+            client.close()
+
+    def test_peer_close_raises(self):
+        server, client = _tcp_pair()
+        server.close()
+        with pytest.raises(ChannelError):
+            client.recv()
+        client.close()
+
+    def test_send_after_close_raises(self):
+        server, client = _tcp_pair()
+        server.close()
+        with pytest.raises(ChannelError):
+            server.send(b"x")
+        client.close()
+
+    def test_connect_refused_eventually_fails(self):
+        with pytest.raises(ChannelError):
+            tcp.connect("127.0.0.1", _free_port(), timeout_s=1, retries=2, retry_delay_s=0.01)
+
+    def test_listen_timeout(self):
+        with pytest.raises(ChannelError, match="no client"):
+            tcp.listen(_free_port(), timeout_s=0.2)
+
+
+class TestProtocolOverTcp:
+    def test_triplets_over_sockets(self, test_group, rng):
+        """The OT triplet protocol must run unchanged over TCP."""
+        ring = Ring(32)
+        scheme = FragmentScheme.from_bits((2, 2))
+        w = rng.integers(-8, 8, size=(3, 5))
+        r = ring.sample(rng, (5, 2))
+        config = TripletConfig(ring=ring, scheme=scheme, m=3, n=5, o=2, group=test_group)
+
+        server_chan, client_chan = _tcp_pair(timeout_s=60)
+        box = {}
+
+        def server_main():
+            box["u"] = generate_triplets_server(server_chan, w, config, seed=1)
+
+        thread = threading.Thread(target=server_main, daemon=True)
+        thread.start()
+        v = generate_triplets_client(
+            client_chan, r, config, np.random.default_rng(3), seed=2
+        )
+        thread.join(timeout=60)
+        server_chan.close()
+        client_chan.close()
+        got = ring.add(box["u"], v)
+        assert (got == ring.matmul(ring.reduce(w), r)).all()

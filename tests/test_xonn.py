@@ -1,0 +1,101 @@
+"""XONN-style fully-garbled BNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.xonn import (
+    BinarizedNetwork,
+    binarize_network,
+    bnn_template,
+    xonn_predict,
+)
+from repro.errors import ConfigError
+from repro.gc.builder import geq_words, popcount_tree, zero_wire
+from repro.gc.circuit import Circuit
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.utils.bits import bits_to_int, int_to_bits
+
+
+class TestCircuitPieces:
+    def test_popcount_tree(self, rng):
+        for n in (1, 2, 3, 7, 16):
+            circ = Circuit()
+            bits = circ.garbler_input(n)
+            word = popcount_tree(circ, bits)
+            circ.mark_outputs(word)
+            circ.validate()
+            values = rng.integers(0, 2, size=(20, n), dtype=np.uint8)
+            out = circ.eval_plain(values, np.zeros((20, 0)))
+            got = bits_to_int(out)
+            assert (got == values.sum(axis=1)).all()
+
+    def test_geq_words(self, rng):
+        circ = Circuit()
+        x = circ.garbler_input(5)
+        y = circ.evaluator_input(5)
+        circ.mark_outputs([geq_words(circ, x, y)])
+        xv = rng.integers(0, 32, size=50, dtype=np.uint64)
+        yv = rng.integers(0, 32, size=50, dtype=np.uint64)
+        out = circ.eval_plain(int_to_bits(xv, 5), int_to_bits(yv, 5))
+        assert (out[:, 0] == (xv >= yv)).all()
+
+    def test_zero_wire(self):
+        circ = Circuit()
+        (a,) = circ.garbler_input(1)
+        circ.mark_outputs([zero_wire(circ, a)])
+        for v in (0, 1):
+            assert circ.eval_plain([[v]], [[]])[0, 0] == 0
+
+
+@pytest.fixture
+def tiny_bnn(rng):
+    return BinarizedNetwork(
+        weight_bits=[
+            rng.integers(0, 2, size=(5, 8)).astype(np.uint8),
+            rng.integers(0, 2, size=(3, 5)).astype(np.uint8),
+        ],
+        thresholds=[rng.integers(2, 7, size=5).astype(np.int64)],
+    )
+
+
+class TestBinarizedNetwork:
+    def test_dims(self, tiny_bnn):
+        assert tiny_bnn.dims == [8, 5, 3]
+
+    def test_threshold_count_checked(self, rng):
+        with pytest.raises(ConfigError):
+            BinarizedNetwork(
+                weight_bits=[rng.integers(0, 2, size=(4, 4)).astype(np.uint8)] * 2,
+                thresholds=[],
+            )
+
+    def test_binarize_network_accuracy_sane(self, trained_model, small_dataset):
+        bnn = binarize_network(trained_model)
+        acc = float((bnn.predict(small_dataset.test_x) == small_dataset.test_y).mean())
+        assert acc > 0.2  # binarized inputs lose a lot; must still beat chance
+
+    def test_binarize_needs_two_layers(self):
+        with pytest.raises(ConfigError):
+            binarize_network(Sequential([Dense(4, 2), ReLU()]))
+
+    def test_template_dims_checked(self):
+        with pytest.raises(ConfigError):
+            bnn_template([4, 2])
+
+
+class TestSecureXonn:
+    def test_scores_match_plaintext(self, tiny_bnn, test_group, rng):
+        x = rng.uniform(0, 1, size=(4, 8))
+        report = xonn_predict(tiny_bnn, x, group=test_group)
+        assert (report.scores == tiny_bnn.forward_scores(x)).all()
+        assert (report.predictions == tiny_bnn.predict(x)).all()
+        assert report.total_bytes > 0
+        assert report.and_gates == bnn_template(tiny_bnn.dims).and_count
+
+    def test_no_offline_phase(self, tiny_bnn, test_group, rng):
+        """XONN's defining shape: everything in one online GC execution,
+        so round count stays constant and tiny."""
+        x = rng.uniform(0, 1, size=(2, 8))
+        report = xonn_predict(tiny_bnn, x, group=test_group)
+        assert report.rounds <= 8
