@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""OT-extension engine microbenchmark: seed per-column loop vs word-packed.
+
+Measures raw ``_extend`` throughput (the batched PRG expansion, the U/Q/T
+matrix XORs, the bit-matrix transpose, and the wire codec — everything
+except random-oracle masking) for both the vectorized engines and the
+seed per-column reference preserved in
+:mod:`repro.crypto.otext_reference`.  Both engines are byte-identical on
+the wire (see ``tests/test_otext_transcripts.py``), so the comparison is
+apples to apples: same transcripts, same traffic, different compute.
+
+Emits ``BENCH_otext.json`` via the :class:`repro.perf.timing.BenchRow`
+machinery so later PRs have a recorded perf trajectory to regress
+against, and exits non-zero if the vectorized path falls below the
+recorded speedup/throughput floors (the CI smoke).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_otext.py            # full (m = 2^16)
+    PYTHONPATH=src python benchmarks/bench_otext.py --quick    # CI smoke (m = 2^13)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto.group import MODP_TEST
+from repro.crypto.iknp import OtExtReceiver, OtExtSender
+from repro.crypto.kk13 import Kk13Receiver, Kk13Sender
+from repro.crypto.otext_reference import (
+    ReferenceKk13Receiver,
+    ReferenceKk13Sender,
+    ReferenceOtExtReceiver,
+    ReferenceOtExtSender,
+)
+from repro.net.channel import make_channel_pair
+from repro.net.netsim import LAN
+from repro.perf.timing import BenchRow, format_table
+
+N_VALUES = 4  # the paper's workhorse radix (Table 2's (2,2,...) schemes)
+
+#: Regression floors.  The full-size speedup floor is the hard
+#: acceptance bar; quick mode (small batches, per-call overhead weighs
+#: more, noisier ratio) gates at a reduced floor.  The absolute floor is
+#: deliberately ~10x below the dev-box measurement so slow CI runners do
+#: not flap.
+SPEEDUP_FLOOR = 5.0
+QUICK_SPEEDUP_FLOOR = 2.5
+VECTORIZED_KK13_OTS_PER_S_FLOOR = 100_000.0
+
+
+def _setup_sessions(sender_cls, receiver_cls, kind: str, seed: int):
+    """Build a connected session pair and run base-OT setup + warm-up.
+
+    Setup interleaves base-OT messages, so it runs on two threads; the
+    timed extension batches afterwards are strictly sender-after-receiver
+    and run single-threaded for deterministic measurement.
+    """
+    server_ch, client_ch = make_channel_pair(timeout_s=600)
+    if kind == "kk13":
+        sender = sender_cls(server_ch, N_VALUES, group=MODP_TEST, seed=seed)
+        receiver = receiver_cls(client_ch, N_VALUES, group=MODP_TEST, seed=seed + 1)
+    else:
+        sender = sender_cls(server_ch, group=MODP_TEST, seed=seed)
+        receiver = receiver_cls(client_ch, group=MODP_TEST, seed=seed + 1)
+    warm = 256
+    warm_choices = np.zeros(warm, dtype=np.int64)
+    errors = []
+
+    def _recv_side():
+        try:
+            receiver._extend(warm_choices)
+        except Exception as exc:  # pragma: no cover - setup failure
+            errors.append(exc)
+
+    thread = threading.Thread(target=_recv_side)
+    thread.start()
+    sender._extend(warm)
+    thread.join()
+    if errors:
+        raise errors[0]
+    return sender, receiver
+
+
+def _time_engine(sender_cls, receiver_cls, kind: str, m: int, reps: int, seed: int):
+    """Total compute seconds (both sides) for ``reps`` extension batches."""
+    sender, receiver = _setup_sessions(sender_cls, receiver_cls, kind, seed)
+    stats = sender.chan.stats if hasattr(sender.chan, "stats") else None
+    rng = np.random.default_rng(seed)
+    choices = rng.integers(0, N_VALUES if kind == "kk13" else 2, size=m)
+    # One untimed full-size rep absorbs cold caches/allocator effects.
+    receiver._extend(choices)
+    sender._extend(m)
+    before = stats.snapshot() if stats else None
+    rep_times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        receiver._extend(choices)
+        sender._extend(m)
+        rep_times.append(time.perf_counter() - t0)
+    payload = rounds = 0
+    if stats:
+        after = stats.snapshot()
+        payload = after.total_bytes - before.total_bytes
+        rounds = after.rounds - before.rounds
+    return rep_times, payload, rounds
+
+
+def run_bench(m: int, reps: int) -> dict:
+    engines = [
+        ("kk13", "seed-loop", ReferenceKk13Sender, ReferenceKk13Receiver),
+        ("kk13", "vectorized", Kk13Sender, Kk13Receiver),
+        ("iknp", "seed-loop", ReferenceOtExtSender, ReferenceOtExtReceiver),
+        ("iknp", "vectorized", OtExtSender, OtExtReceiver),
+    ]
+    rows = []
+    throughput: dict[tuple[str, str], float] = {}
+    for kind, label, sender_cls, receiver_cls in engines:
+        rep_times, payload, rounds = _time_engine(
+            sender_cls, receiver_cls, kind, m, reps, seed=17
+        )
+        # min-of-reps: the standard noise-robust estimate of true cost.
+        best = min(rep_times)
+        ots_per_s = m / best if best else float("inf")
+        throughput[(kind, label)] = ots_per_s
+        rows.append(
+            BenchRow(
+                label=f"{kind}/{label}",
+                compute_s=sum(rep_times),
+                payload_bytes=payload,
+                rounds=rounds,
+                extras={
+                    "m": m,
+                    "reps": reps,
+                    "N": N_VALUES if kind == "kk13" else 2,
+                    "best_rep_s": round(best, 4),
+                    "ots_per_s": round(ots_per_s),
+                },
+            )
+        )
+    speedups = {
+        kind: throughput[(kind, "vectorized")] / throughput[(kind, "seed-loop")]
+        for kind in ("kk13", "iknp")
+    }
+    return {
+        "workload": {"m": m, "reps": reps, "n_values": N_VALUES, "group": "MODP_TEST"},
+        "rows": [row.as_dict([LAN]) for row in rows],
+        "speedup": {k: round(v, 2) for k, v in speedups.items()},
+        "floors": {
+            "speedup_kk13": SPEEDUP_FLOOR,
+            "vectorized_kk13_ots_per_s": VECTORIZED_KK13_OTS_PER_S_FLOOR,
+        },
+        "_rows_obj": rows,
+        "_throughput": throughput,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small batch for CI smoke (m = 2^13)"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_otext.json",
+        help="where to write the JSON baseline",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true", help="emit numbers without gating"
+    )
+    args = parser.parse_args(argv)
+    m, reps = (1 << 13, 3) if args.quick else (1 << 16, 3)
+    speedup_floor = QUICK_SPEEDUP_FLOOR if args.quick else SPEEDUP_FLOOR
+
+    result = run_bench(m, reps)
+    rows = result.pop("_rows_obj")
+    throughput = result.pop("_throughput")
+    print(format_table(rows, [LAN], title=f"OT-extension engines (m={m}, reps={reps})"))
+    print(f"speedup: kk13 {result['speedup']['kk13']}x, iknp {result['speedup']['iknp']}x")
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.no_assert:
+        return 0
+    failures = []
+    if result["speedup"]["kk13"] < speedup_floor:
+        failures.append(
+            f"KK13 speedup {result['speedup']['kk13']}x below floor {speedup_floor}x"
+        )
+    if throughput[("kk13", "vectorized")] < VECTORIZED_KK13_OTS_PER_S_FLOOR:
+        failures.append(
+            f"vectorized KK13 throughput {throughput[('kk13', 'vectorized')]:.0f} OT/s "
+            f"below floor {VECTORIZED_KK13_OTS_PER_S_FLOOR:.0f}"
+        )
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

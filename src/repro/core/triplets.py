@@ -38,6 +38,7 @@ from repro.crypto.kk13 import Kk13Receiver, Kk13Sender
 from repro.errors import ConfigError, ProtocolError
 from repro.net.channel import Channel
 from repro.quant.fragments import FragmentScheme
+from repro.utils.accum import segment_sum_u64
 from repro.utils.bits import pack_ring_words, packed_word_count, unpack_ring_words
 from repro.utils.ring import Ring
 
@@ -154,7 +155,8 @@ def generate_triplets_server(
                 chosen = np.clip(batch - 1, 0, None)
                 opened = cipher[np.arange(count), chosen] ^ pad_val
                 values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
-            np.add.at(u, i_idx, ring.reduce(values))
+            # bincount-based segment sum; np.add.at is a numpy slow path.
+            u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
     return ring.reduce(u)
 
 
@@ -209,5 +211,5 @@ def generate_triplets_client(
                 messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
                 cipher = messages ^ pad_val[:, 1:]
                 chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
-            np.add.at(v, i_idx, ring.reduce(s))
+            v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
     return ring.reduce(v)

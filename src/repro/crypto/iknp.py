@@ -31,37 +31,50 @@ import numpy as np
 from repro.crypto import baseot
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.crypto.prg import Prg
-from repro.errors import CryptoError
+from repro.crypto.prg import BatchPrg
+from repro.errors import CryptoError, ProtocolError
 from repro.net.channel import Channel
 from repro.utils.bits import (
-    pack_bits,
+    concat_packed_rows,
+    pack_bits_to_words,
     pack_ring_words,
     packed_word_count,
-    unpack_bits,
+    split_packed_rows,
+    transpose_packed,
     unpack_ring_words,
 )
 from repro.utils.ring import Ring
 from repro.utils.rng import make_rng, randbelow_from_rng
 
 _U64 = np.uint64
+_ALL_ONES = _U64(0xFFFFFFFFFFFFFFFF)
 
 KAPPA = 128
 _KAPPA_WORDS = KAPPA // 64
 
 
-def _pack_rows_u64(bit_matrix: np.ndarray) -> np.ndarray:
-    """Pack an (m, kappa) bit matrix into (m, kappa/64) uint64 rows."""
-    m, kappa = bit_matrix.shape
-    packed = np.packbits(bit_matrix, axis=1, bitorder="little")
-    return packed.view(np.uint64).reshape(m, kappa // 64)
-
-
 def _rows_with_index(packed_rows: np.ndarray, start_index: int) -> np.ndarray:
     """Append the global OT index as an extra hash-input word per row."""
-    m = packed_rows.shape[0]
-    idx = (np.arange(m, dtype=_U64) + _U64(start_index))[:, None]
-    return np.concatenate([packed_rows, idx], axis=1)
+    m, width = packed_rows.shape
+    out = np.empty((m, width + 1), dtype=_U64)
+    out[:, :width] = packed_rows
+    out[:, width] = np.arange(m, dtype=_U64) + _U64(start_index)
+    return out
+
+
+def _checked_u_blob(blob, n_cols: int, m: int) -> bytes:
+    """Validate the received U-matrix blob before word-level parsing."""
+    expected = (n_cols * m + 7) // 8
+    if not isinstance(blob, (bytes, bytearray)):
+        raise ProtocolError(
+            f"OT-extension U matrix must arrive as bytes, got {type(blob).__name__}"
+        )
+    if len(blob) != expected:
+        raise ProtocolError(
+            f"OT-extension U matrix for {n_cols}x{m} bits must be "
+            f"{expected} bytes, got {len(blob)}"
+        )
+    return bytes(blob)
 
 
 class OtExtSender:
@@ -83,7 +96,7 @@ class OtExtSender:
         self.ro = ro
         self._rng = make_rng(seed)
         self._s_bits: np.ndarray | None = None
-        self._prgs: list[Prg] | None = None
+        self._prg: BatchPrg | None = None
         self._ot_index = 0
 
     # ------------------------------------------------------------------ #
@@ -95,24 +108,28 @@ class OtExtSender:
             self.chan, s.tolist(), self.group, randbelow=self._randbelow
         )
         self._s_bits = s
-        self._prgs = [Prg(k) for k in keys]
-        self._s_words = _pack_rows_u64(s[None, :])[0]
+        self._prg = BatchPrg(keys)
+        self._s_words = pack_bits_to_words(s)
+        # Per-column select mask: all-ones where s_j = 1, zero otherwise.
+        self._s_colmask = (s.astype(_U64) * _ALL_ONES)[:, None]
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)
 
     def _extend(self, m: int) -> np.ndarray:
-        """Run one extension batch; returns Q packed as (m, kappa/64) words."""
+        """Run one extension batch; returns Q packed as (m, kappa/64) words.
+
+        The whole batch stays word-packed: the PRG block arrives as
+        ``(kappa, ceil(m/64))`` uint64 columns, the per-column XOR with U
+        is a single masked whole-matrix XOR, and the row layout comes out
+        of the packed 64x64-block transpose — the ``(kappa, m)`` uint8
+        expansion of the per-column loop never exists.
+        """
         self._ensure_setup()
-        u_blob = self.chan.recv()
-        u_cols = unpack_bits(u_blob, self.kappa * m).reshape(self.kappa, m)
-        q_cols = np.empty((self.kappa, m), dtype=np.uint8)
-        for j in range(self.kappa):
-            stream = self._prgs[j].bits(m)
-            if self._s_bits[j]:
-                stream = stream ^ u_cols[j]
-            q_cols[j] = stream
-        return _pack_rows_u64(np.ascontiguousarray(q_cols.T))
+        u_blob = _checked_u_blob(self.chan.recv(), self.kappa, m)
+        u_cols = split_packed_rows(u_blob, self.kappa, m)
+        q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
+        return transpose_packed(q_cols)[:m]
 
     # ------------------------------------------------------------------ #
     def send_chosen(self, messages: np.ndarray, domain: int = 1) -> None:
@@ -179,34 +196,39 @@ class OtExtReceiver:
         self.group = group
         self.ro = ro
         self._rng = make_rng(seed)
-        self._prg_pairs: list[tuple[Prg, Prg]] | None = None
+        self._prg0: BatchPrg | None = None
+        self._prg1: BatchPrg | None = None
         self._ot_index = 0
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)
 
     def _ensure_setup(self) -> None:
-        if self._prg_pairs is not None:
+        if self._prg0 is not None:
             return
         key_pairs = baseot.random_send(self.chan, self.kappa, self.group, randbelow=self._randbelow)
-        self._prg_pairs = [(Prg(k0), Prg(k1)) for k0, k1 in key_pairs]
+        self._prg0 = BatchPrg([k0 for k0, _ in key_pairs])
+        self._prg1 = BatchPrg([k1 for _, k1 in key_pairs])
 
     def _extend(self, choices: np.ndarray) -> np.ndarray:
-        """Run one extension batch; returns T packed as (m, kappa/64)."""
+        """Run one extension batch; returns T packed as (m, kappa/64).
+
+        Word-packed throughout: both PRG blocks come out of the batched
+        Philox expansion, the choice vector is packed once and broadcast
+        into every column with one whole-matrix XOR, and the U matrix is
+        serialized straight from packed rows (byte-identical to packing
+        the uint8 column matrix).
+        """
         self._ensure_setup()
         c = np.asarray(choices, dtype=np.uint8)
         if c.ndim != 1 or not np.isin(c, (0, 1)).all():
             raise CryptoError("choices must be a 1-D bit vector")
         m = c.shape[0]
-        t_cols = np.empty((self.kappa, m), dtype=np.uint8)
-        u_cols = np.empty((self.kappa, m), dtype=np.uint8)
-        for j in range(self.kappa):
-            t0 = self._prg_pairs[j][0].bits(m)
-            t1 = self._prg_pairs[j][1].bits(m)
-            t_cols[j] = t0
-            u_cols[j] = t0 ^ t1 ^ c
-        self.chan.send(pack_bits(u_cols))
-        return _pack_rows_u64(np.ascontiguousarray(t_cols.T))
+        c_words = pack_bits_to_words(c)
+        t0 = self._prg0.packed_bits(m)
+        t1 = self._prg1.packed_bits(m)
+        self.chan.send(concat_packed_rows(t0 ^ t1 ^ c_words[None, :], m))
+        return transpose_packed(t0)[:m]
 
     # ------------------------------------------------------------------ #
     def recv_chosen(self, choices, width: int, domain: int = 1) -> np.ndarray:

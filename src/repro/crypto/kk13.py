@@ -22,28 +22,24 @@ import numpy as np
 from repro.crypto import baseot, codes
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.crypto.prg import Prg
+from repro.crypto.iknp import _checked_u_blob, _rows_with_index
+from repro.crypto.prg import BatchPrg
 from repro.errors import CryptoError
 from repro.net.channel import Channel
-from repro.utils.bits import pack_bits, unpack_bits
+from repro.utils.bits import (
+    concat_packed_rows,
+    pack_bits_to_words,
+    split_packed_rows,
+    transpose_packed,
+    unpack_words_to_bits,
+)
 from repro.utils.rng import make_rng, randbelow_from_rng
 
 _U64 = np.uint64
+_ALL_ONES = _U64(0xFFFFFFFFFFFFFFFF)
 
 CODE_WIDTH = codes.CODE_LENGTH  # 256 columns
 _CODE_WORDS = CODE_WIDTH // 64
-
-
-def _pack_rows_u64(bit_matrix: np.ndarray) -> np.ndarray:
-    m, width = bit_matrix.shape
-    packed = np.packbits(bit_matrix, axis=1, bitorder="little")
-    return packed.view(np.uint64).reshape(m, width // 64)
-
-
-def _rows_with_index(packed_rows: np.ndarray, start_index: int) -> np.ndarray:
-    m = packed_rows.shape[0]
-    idx = (np.arange(m, dtype=_U64) + _U64(start_index))[:, None]
-    return np.concatenate([packed_rows, idx], axis=1)
 
 
 class Kk13Sender:
@@ -66,7 +62,7 @@ class Kk13Sender:
         self._rng = make_rng(seed)
         self._code_words = codes.codeword_words(n_values)
         self._s_bits: np.ndarray | None = None
-        self._prgs: list[Prg] | None = None
+        self._prg: BatchPrg | None = None
         self._ot_index = 0
 
     def _randbelow(self, bound: int) -> int:
@@ -78,23 +74,24 @@ class Kk13Sender:
         s = self._rng.integers(0, 2, size=CODE_WIDTH, dtype=np.uint8)
         keys = baseot.random_receive(self.chan, s.tolist(), self.group, randbelow=self._randbelow)
         self._s_bits = s
-        self._prgs = [Prg(k) for k in keys]
-        self._s_words = _pack_rows_u64(s[None, :])[0]
+        self._prg = BatchPrg(keys)
+        self._s_words = pack_bits_to_words(s)
+        self._s_colmask = (s.astype(_U64) * _ALL_ONES)[:, None]
         # (C(j) & s) pre-masked once per codeword.
         self._coded_s = self._code_words & self._s_words[None, :]
 
     def _extend(self, m: int) -> np.ndarray:
-        """Consume the receiver's U matrix; return Q rows (m, 4 words)."""
+        """Consume the receiver's U matrix; return Q rows (m, 4 words).
+
+        Fully word-packed (see :meth:`OtExtReceiver._extend` in
+        :mod:`repro.crypto.iknp`): batched PRG block, one masked XOR,
+        packed 64x64-block transpose — no ``(256, m)`` uint8 expansion.
+        """
         self._ensure_setup()
-        u_blob = self.chan.recv()
-        u_cols = unpack_bits(u_blob, CODE_WIDTH * m).reshape(CODE_WIDTH, m)
-        q_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
-        for j in range(CODE_WIDTH):
-            stream = self._prgs[j].bits(m)
-            if self._s_bits[j]:
-                stream = stream ^ u_cols[j]
-            q_cols[j] = stream
-        return _pack_rows_u64(np.ascontiguousarray(q_cols.T))
+        u_blob = _checked_u_blob(self.chan.recv(), CODE_WIDTH, m)
+        u_cols = split_packed_rows(u_blob, CODE_WIDTH, m)
+        q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
+        return transpose_packed(q_cols)[:m]
 
     # ------------------------------------------------------------------ #
     def pads(self, m: int, width: int, domain: int = 3) -> np.ndarray:
@@ -106,18 +103,12 @@ class Kk13Sender:
         ABNN2 one-batch optimization).
         """
         q = self._extend(m)
-        # (m, N, 4): q_i xor (C(j) & s)
-        mixed = q[:, None, :] ^ self._coded_s[None, :, :]
-        rows = np.concatenate(
-            [
-                mixed,
-                np.broadcast_to(
-                    (np.arange(m, dtype=_U64) + _U64(self._ot_index))[:, None, None],
-                    (m, self.n_values, 1),
-                ),
-            ],
-            axis=2,
-        )
+        # One preallocated (m, N, 5) hash-input tensor: q_i xor (C(j) & s)
+        # written straight into the first 4 words, OT index in the fifth —
+        # no per-chunk concatenate of broadcast temporaries.
+        rows = np.empty((m, self.n_values, _CODE_WORDS + 1), dtype=_U64)
+        np.bitwise_xor(q[:, None, :], self._coded_s[None, :, :], out=rows[:, :, :_CODE_WORDS])
+        rows[:, :, _CODE_WORDS] = (np.arange(m, dtype=_U64) + _U64(self._ot_index))[:, None]
         out = self.ro.mask(rows, width, domain)
         self._ot_index += m
         return out
@@ -149,39 +140,52 @@ class Kk13Receiver:
         self.group = group
         self.ro = ro
         self._rng = make_rng(seed)
-        self._code_bits = codes.codeword_bits(n_values)
-        self._prg_pairs: list[tuple[Prg, Prg]] | None = None
+        self._code_words = codes.codeword_words(n_values)
+        # Column j of the choice-codeword matrix is the XOR of the
+        # indicator masks of the values whose codeword has bit j set;
+        # precompute, per value, which columns it feeds.
+        code_bits = unpack_words_to_bits(self._code_words, CODE_WIDTH)
+        self._code_col_idx = [np.nonzero(code_bits[v])[0] for v in range(n_values)]
+        self._prg0: BatchPrg | None = None
+        self._prg1: BatchPrg | None = None
         self._ot_index = 0
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)
 
     def _ensure_setup(self) -> None:
-        if self._prg_pairs is not None:
+        if self._prg0 is not None:
             return
         key_pairs = baseot.random_send(
             self.chan, CODE_WIDTH, self.group, randbelow=self._randbelow
         )
-        self._prg_pairs = [(Prg(k0), Prg(k1)) for k0, k1 in key_pairs]
+        self._prg0 = BatchPrg([k0 for k0, _ in key_pairs])
+        self._prg1 = BatchPrg([k1 for _, k1 in key_pairs])
 
     def _extend(self, choices: np.ndarray) -> np.ndarray:
-        """Send the U matrix; return T rows (m, 4 words)."""
+        """Send the U matrix; return T rows (m, 4 words).
+
+        Word-packed throughout.  The codeword column matrix never
+        materializes row-wise: column ``j`` of ``C(b_i)`` stacked over
+        ``i`` equals the XOR of the packed indicator masks
+        ``[b == v]`` over the values ``v`` whose codeword has bit ``j``
+        set, so ``N`` packed masks replace an ``(m, 4)``-word transpose.
+        """
         self._ensure_setup()
         b = np.asarray(choices, dtype=np.int64)
         if b.ndim != 1 or (b < 0).any() or (b >= self.n_values).any():
             raise CryptoError(f"choices must lie in [0, {self.n_values})")
         m = b.shape[0]
-        # Row i of the code matrix is C(b_i); we need its columns.
-        code_cols = self._code_bits[b].T  # (256, m)
-        t_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
-        u_cols = np.empty((CODE_WIDTH, m), dtype=np.uint8)
-        for j in range(CODE_WIDTH):
-            t0 = self._prg_pairs[j][0].bits(m)
-            t1 = self._prg_pairs[j][1].bits(m)
-            t_cols[j] = t0
-            u_cols[j] = t0 ^ t1 ^ code_cols[j]
-        self.chan.send(pack_bits(u_cols))
-        return _pack_rows_u64(np.ascontiguousarray(t_cols.T))
+        m_words = (m + 63) // 64
+        code_cols = np.zeros((CODE_WIDTH, m_words), dtype=_U64)
+        for v, col_idx in enumerate(self._code_col_idx):
+            code_cols[col_idx] ^= pack_bits_to_words((b == v).view(np.uint8))[None, :]
+        t0 = self._prg0.packed_bits(m)
+        t1 = self._prg1.packed_bits(m)
+        u = t0 ^ t1
+        u ^= code_cols
+        self.chan.send(concat_packed_rows(u, m))
+        return transpose_packed(t0)[:m]
 
     # ------------------------------------------------------------------ #
     def pads(self, choices, width: int, domain: int = 3) -> np.ndarray:

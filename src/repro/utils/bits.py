@@ -57,6 +57,191 @@ def transpose_bit_matrix(mat: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(arr.T)
 
 
+def pack_bits_to_words(bits_arr) -> np.ndarray:
+    """Pack a 0/1 array ``(..., n)`` into ``(..., ceil(n/64))`` uint64 words.
+
+    LSB-first within each word (bit ``i`` of the row lands in word
+    ``i // 64`` at position ``i % 64``); tail bits beyond ``n`` are zero.
+    """
+    arr = np.atleast_1d(np.asarray(bits_arr, dtype=np.uint8))
+    n = arr.shape[-1]
+    words = (n + 63) // 64
+    lead = arr.shape[:-1]
+    flat = np.ascontiguousarray(arr.reshape(-1, n) if n else arr.reshape(-1, 0))
+    buf = np.zeros((flat.shape[0], words * 8), dtype=np.uint8)
+    if n:
+        packed = np.packbits(flat, axis=1, bitorder="little")
+        buf[:, : packed.shape[1]] = packed
+    return buf.view(np.uint64).reshape(lead + (words,))
+
+
+def unpack_words_to_bits(words_arr, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_to_words`: ``(..., W)`` words -> ``(..., count)`` bits."""
+    arr = np.ascontiguousarray(words_arr, dtype=np.uint64)
+    if arr.shape[-1] * 64 < count:
+        raise ConfigError(f"{arr.shape[-1]} words hold {arr.shape[-1] * 64} bits, need {count}")
+    lead = arr.shape[:-1]
+    flat = arr.reshape(-1, arr.shape[-1])
+    bits = np.unpackbits(flat.view(np.uint8), axis=1, bitorder="little", count=count)
+    return bits.reshape(lead + (count,))
+
+
+# --------------------------------------------------------------------- #
+# word-packed bit-matrix transpose (the OT-extension hot path)
+# --------------------------------------------------------------------- #
+_TILE_STEPS = [
+    (np.uint64(32), np.uint64(0xFFFFFFFF00000000)),
+    (np.uint64(16), np.uint64(0xFFFF0000FFFF0000)),
+    (np.uint64(8), np.uint64(0xFF00FF00FF00FF00)),
+    (np.uint64(4), np.uint64(0xF0F0F0F0F0F0F0F0)),
+    (np.uint64(2), np.uint64(0xCCCCCCCCCCCCCCCC)),
+    (np.uint64(1), np.uint64(0xAAAAAAAAAAAAAAAA)),
+]
+
+
+def _transpose_tiles(tiles: np.ndarray) -> np.ndarray:
+    """Transpose 64x64 bit tiles laid out as ``(R64, 64, W)`` uint64.
+
+    ``tiles[rt, r, wc]`` is row ``r`` of the tile at row-tile ``rt``,
+    word-column ``wc``; bit ``c`` (LSB-first) is tile column ``c``.
+    Butterfly masked swaps (Hacker's Delight 7-3) along the middle axis,
+    in place.  Swap partners ``(r, r + j)`` are selected by reshaping
+    that axis to ``(64 / 2j, 2, j)`` — plain strided views with the long
+    ``W`` axis contiguous, no index gathers.
+    """
+    r64, _, w = tiles.shape
+    for sh, swap_mask in _TILE_STEPS:
+        j = int(sh)
+        view = tiles.reshape(r64, 32 // j, 2, j, w)
+        a = view[:, :, 0]
+        b = view[:, :, 1]
+        t = b << sh
+        t ^= a
+        t &= swap_mask
+        a ^= t
+        t >>= sh
+        b ^= t
+    return tiles
+
+
+def transpose_packed(rows: np.ndarray) -> np.ndarray:
+    """Transpose a word-packed bit matrix without unpacking to bytes.
+
+    ``rows`` is ``(R, W)`` uint64, the packed rows of an ``(R, W * 64)``
+    bit matrix (LSB-first; callers with fewer than ``W * 64`` meaningful
+    columns zero-pad).  ``R`` must be a multiple of 64.  Returns the
+    packed rows of the transpose, shape ``(W * 64, R // 64)``; output
+    rows beyond the caller's true column count are the transposed zero
+    padding.
+    """
+    arr = np.ascontiguousarray(rows, dtype=np.uint64)
+    if arr.ndim != 2:
+        raise ConfigError(f"expected a 2-D packed matrix, got shape {arr.shape}")
+    r, w = arr.shape
+    if r % 64 != 0:
+        raise ConfigError(f"packed transpose needs a multiple of 64 rows, got {r}")
+    if r == 0 or w == 0:
+        return np.zeros((w * 64, r // 64), dtype=np.uint64)
+    flipped = _transpose_tiles(arr.reshape(r // 64, 64, w).copy())
+    # flipped[rt, c_local, wc] is the word of transposed-matrix row
+    # wc*64 + c_local at word-column rt.
+    return np.ascontiguousarray(flipped.transpose(2, 1, 0)).reshape(w * 64, r // 64)
+
+
+# --------------------------------------------------------------------- #
+# ragged wire codecs: packed rows <-> the bit-contiguous blob format
+# --------------------------------------------------------------------- #
+def _blob_nbytes(n_rows: int, row_bits: int) -> int:
+    return (n_rows * row_bits + 7) // 8
+
+
+def concat_packed_rows(rows: np.ndarray, row_bits: int) -> bytes:
+    """Serialize ``(n_rows, W)`` packed rows to the dense wire blob.
+
+    The blob is byte-identical to ``pack_bits`` of the unpacked
+    ``(n_rows, row_bits)`` bit matrix: rows are concatenated at *bit*
+    granularity, so for ``row_bits % 8 != 0`` row boundaries are not byte
+    aligned.  Bits at positions >= ``row_bits`` in each input row are
+    masked off.
+    """
+    arr = np.ascontiguousarray(rows, dtype=np.uint64)
+    if arr.ndim != 2 or arr.shape[1] != (row_bits + 63) // 64:
+        raise ConfigError(
+            f"expected (n_rows, {(row_bits + 63) // 64}) packed rows for "
+            f"{row_bits}-bit rows, got shape {arr.shape}"
+        )
+    n_rows, words = arr.shape
+    if n_rows == 0 or row_bits == 0:
+        return b""
+    if row_bits % 64:
+        arr = arr.copy()
+        arr[:, -1] &= np.uint64((1 << (row_bits % 64)) - 1)
+    nbytes = _blob_nbytes(n_rows, row_bits)
+    if row_bits % 8 == 0:
+        # Rows are byte aligned: slice each row's bytes and concatenate.
+        return arr.view(np.uint8).reshape(n_rows, words * 8)[:, : row_bits // 8].tobytes()
+    if row_bits < 64:
+        # Rare tiny-row case: a blob word can span 3+ rows; take the
+        # simple unpack/pack route.
+        bits = unpack_words_to_bits(arr, row_bits)
+        return pack_bits(bits)
+    # General case: every output word draws bits from at most two
+    # consecutive rows.  Gather both contributions per word — no scatter,
+    # no (n_rows, row_bits) uint8 expansion.
+    out_words = (n_rows * row_bits + 63) // 64
+    padded = np.zeros((n_rows + 1, words + 1), dtype=np.uint64)
+    padded[:n_rows, :words] = arr
+    w = np.arange(out_words, dtype=np.int64)
+    a = (64 * w) // row_bits  # first contributing row
+    q = 64 * w - a * row_bits  # bit offset inside that row
+    qw, qs = q // 64, (q % 64).astype(np.uint64)
+    chunk = padded[a, qw] >> qs
+    high = padded[a, qw + 1] << (np.uint64(64) - qs)
+    chunk = chunk | np.where(qs == 0, np.uint64(0), high)
+    spill = row_bits - q  # bits of row `a` remaining at this offset
+    head_shift = np.clip(spill, 0, 63).astype(np.uint64)
+    head = padded[a + 1, 0] << head_shift
+    out = chunk | np.where(spill < 64, head, np.uint64(0))
+    return out.tobytes()[:nbytes]
+
+
+def split_packed_rows(data: bytes, n_rows: int, row_bits: int) -> np.ndarray:
+    """Inverse of :func:`concat_packed_rows`: blob -> ``(n_rows, W)`` words.
+
+    Tail bits beyond ``row_bits`` in each output row are zero.  Raises
+    :class:`ConfigError` when the blob length does not match exactly.
+    """
+    nbytes = _blob_nbytes(n_rows, row_bits)
+    if len(data) != nbytes:
+        raise ConfigError(
+            f"blob of {len(data)} bytes cannot hold {n_rows} rows of "
+            f"{row_bits} bits ({nbytes} bytes expected)"
+        )
+    words = (row_bits + 63) // 64
+    if n_rows == 0 or row_bits == 0:
+        return np.zeros((n_rows, words), dtype=np.uint64)
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if row_bits % 8 == 0:
+        buf = np.zeros((n_rows, words * 8), dtype=np.uint8)
+        buf[:, : row_bits // 8] = raw.reshape(n_rows, row_bits // 8)
+        return buf.view(np.uint64).reshape(n_rows, words)
+    # Bit-aligned rows: gather each output word from the two blob words
+    # it straddles.  Per-row shift is constant across the row's words.
+    blob_words = (n_rows * row_bits + 63) // 64
+    padded = np.zeros((blob_words + 1) * 8, dtype=np.uint8)
+    padded[: raw.size] = raw
+    blob = padded.view(np.uint64)
+    start = np.arange(n_rows, dtype=np.int64) * row_bits
+    w0 = (start // 64)[:, None] + np.arange(words, dtype=np.int64)[None, :]
+    s = (start % 64).astype(np.uint64)[:, None]
+    low = blob[w0] >> s
+    high = blob[w0 + 1] << (np.uint64(64) - s)
+    out = low | np.where(s == 0, np.uint64(0), high)
+    if row_bits % 64:
+        out[:, -1] &= np.uint64((1 << (row_bits % 64)) - 1)
+    return out
+
+
 def xor_bytes(a: bytes, b: bytes) -> bytes:
     """XOR two equal-length byte strings."""
     if len(a) != len(b):

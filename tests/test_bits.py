@@ -8,13 +8,18 @@ from hypothesis import strategies as st
 from repro.errors import ConfigError
 from repro.utils.bits import (
     bits_to_int,
+    concat_packed_rows,
     int_to_bits,
     pack_bits,
+    pack_bits_to_words,
     pack_ring_words,
     packed_word_count,
+    split_packed_rows,
     transpose_bit_matrix,
+    transpose_packed,
     unpack_bits,
     unpack_ring_words,
+    unpack_words_to_bits,
     xor_bytes,
 )
 
@@ -112,3 +117,111 @@ class TestRingPacking:
         vals = np.array([v & mask for v in values], dtype=np.uint64)[None, :]
         packed = pack_ring_words(vals, bits)
         assert (unpack_ring_words(packed, bits, vals.shape[1]) == vals).all()
+
+
+def _ref_packed(bits_mat):
+    """Reference word packer via numpy packbits (LSB-first)."""
+    rows, n = bits_mat.shape
+    words = (n + 63) // 64
+    buf = np.zeros((rows, words * 64), dtype=np.uint8)
+    buf[:, :n] = bits_mat
+    return np.packbits(buf, axis=1, bitorder="little").view(np.uint64).reshape(rows, words)
+
+
+class TestWordPacking:
+    def test_pack_bits_to_words_matches_reference(self, rng):
+        bits = rng.integers(0, 2, size=(5, 130), dtype=np.uint8)
+        assert (pack_bits_to_words(bits) == _ref_packed(bits)).all()
+
+    def test_unpack_words_roundtrip(self, rng):
+        bits = rng.integers(0, 2, size=(3, 77), dtype=np.uint8)
+        assert (unpack_words_to_bits(pack_bits_to_words(bits), 77) == bits).all()
+
+    def test_unpack_too_few_words(self):
+        with pytest.raises(ConfigError):
+            unpack_words_to_bits(np.zeros((2, 1), dtype=np.uint64), 65)
+
+
+class TestPackedTranspose:
+    """The 64x64-block bit transpose behind vectorized OT extension."""
+
+    @pytest.mark.parametrize("shape", [(64, 64), (128, 100), (256, 1), (192, 130)])
+    def test_matches_unpacked_transpose(self, shape, rng):
+        r, c = shape
+        bits = rng.integers(0, 2, size=(r, c), dtype=np.uint8)
+        out = transpose_packed(_ref_packed(bits))
+        words = (c + 63) // 64
+        assert out.shape == (words * 64, r // 64)
+        assert (out[:c] == _ref_packed(np.ascontiguousarray(bits.T))).all()
+        # Padding columns transpose to all-zero rows.
+        assert not out[c:].any()
+
+    def test_double_transpose_is_identity(self, rng):
+        rows = rng.integers(0, 1 << 63, size=(128, 2), dtype=np.uint64)
+        assert (transpose_packed(transpose_packed(rows)) == rows).all()
+
+    def test_rejects_non_multiple_of_64_rows(self):
+        # The documented contract: row counts must be word-aligned; callers
+        # zero-pad (columns may be ragged, rows may not).
+        with pytest.raises(ConfigError):
+            transpose_packed(np.zeros((100, 2), dtype=np.uint64))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            transpose_packed(np.zeros(64, dtype=np.uint64))
+
+    @given(
+        r_tiles=st.integers(1, 3),
+        c=st.integers(1, 150),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_property(self, r_tiles, c, seed):
+        local = np.random.default_rng(seed)
+        bits = local.integers(0, 2, size=(r_tiles * 64, c), dtype=np.uint8)
+        out = transpose_packed(_ref_packed(bits))
+        assert (out[:c] == _ref_packed(np.ascontiguousarray(bits.T))).all()
+
+
+class TestPackedRowCodec:
+    """Wire blob <-> packed rows, byte-identical to pack_bits of the matrix."""
+
+    @pytest.mark.parametrize("shape", [(128, 64), (128, 300), (256, 77), (64, 63), (3, 40)])
+    def test_concat_matches_pack_bits(self, shape, rng):
+        rows, n = shape
+        bits = rng.integers(0, 2, size=(rows, n), dtype=np.uint8)
+        assert concat_packed_rows(_ref_packed(bits), n) == pack_bits(bits)
+
+    @pytest.mark.parametrize("shape", [(128, 64), (128, 300), (256, 77), (64, 63), (3, 40)])
+    def test_split_roundtrip(self, shape, rng):
+        rows, n = shape
+        bits = rng.integers(0, 2, size=(rows, n), dtype=np.uint8)
+        packed = _ref_packed(bits)
+        assert (split_packed_rows(pack_bits(bits), rows, n) == packed).all()
+
+    def test_concat_masks_stray_tail_bits(self):
+        rows = np.full((2, 1), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        blob = concat_packed_rows(rows, 60)
+        assert split_packed_rows(blob, 2, 60).max() == np.uint64((1 << 60) - 1)
+
+    def test_split_rejects_wrong_length(self):
+        with pytest.raises(ConfigError):
+            split_packed_rows(b"\x00" * 10, 4, 17)
+
+    def test_concat_rejects_wrong_width(self):
+        with pytest.raises(ConfigError):
+            concat_packed_rows(np.zeros((4, 2), dtype=np.uint64), 64)
+
+    @given(
+        rows=st.integers(1, 40),
+        n=st.integers(1, 200),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codec_property(self, rows, n, seed):
+        local = np.random.default_rng(seed)
+        bits = local.integers(0, 2, size=(rows, n), dtype=np.uint8)
+        packed = _ref_packed(bits)
+        blob = concat_packed_rows(packed, n)
+        assert blob == pack_bits(bits)
+        assert (split_packed_rows(blob, rows, n) == packed).all()

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.crypto.hash_ro import sha256_ro, siphash_ro
-from repro.crypto.prg import Prg, expand_to_bits
+from repro.crypto.prg import BatchPrg, Prg, expand_to_bits
 from repro.errors import CryptoError
+from repro.utils.bits import pack_bits_to_words
 
 
 class TestRandomOracles:
@@ -88,3 +89,77 @@ class TestPrg:
 
     def test_expand_helper(self):
         assert (expand_to_bits(bytes(16), 64) == Prg(bytes(16)).bits(64)).all()
+
+    @pytest.mark.parametrize("count", [1, 7, 64, 100, 1000])
+    def test_packed_bits_matches_bits(self, count):
+        seed = bytes(range(16))
+        packed = Prg(seed).packed_bits(count)
+        assert packed.shape == ((count + 63) // 64,)
+        assert (packed == pack_bits_to_words(Prg(seed).bits(count))).all()
+
+    def test_packed_bits_advances_stream_like_bits(self):
+        seed = bytes(range(16))
+        a, b = Prg(seed), Prg(seed)
+        a.packed_bits(37)
+        b.bits(37)
+        assert (a.bits(100) == b.bits(100)).all()
+
+
+def _seeds(k):
+    return [bytes([i] * 16) for i in range(1, k + 1)]
+
+
+class TestBatchPrg:
+    """The vectorized multi-key engine must be byte-identical to list[Prg]."""
+
+    def test_matches_prg_columns(self):
+        seeds = _seeds(8)
+        batch = BatchPrg(seeds)
+        out = batch.packed_bits(300)
+        for j, seed in enumerate(seeds):
+            assert (out[j] == Prg(seed).packed_bits(300)).all(), f"stream {j}"
+
+    def test_matches_prg_across_ragged_calls(self):
+        # Odd sizes exercise the cached-half-word accounting that numpy's
+        # Generator keeps between integer draws.
+        seeds = _seeds(5)
+        batch = BatchPrg(seeds)
+        prgs = [Prg(s) for s in seeds]
+        for count in (13, 7, 130, 1, 64, 100, 3, 65):
+            got = batch.packed_bits(count)
+            for j, prg in enumerate(prgs):
+                assert (got[j] == prg.packed_bits(count)).all(), (count, j)
+
+    def test_interchangeable_with_bits_stream(self):
+        # A session may mix packed and unpacked draws; streams must agree.
+        seeds = _seeds(3)
+        batch = BatchPrg(seeds)
+        prgs = [Prg(s) for s in seeds]
+        batch.packed_bits(77)
+        first = [p.bits(77) for p in prgs]
+        got = batch.packed_bits(200)
+        for j, prg in enumerate(prgs):
+            assert (got[j] == pack_bits_to_words(prg.bits(200))).all()
+
+    def test_tail_bits_are_zero(self):
+        out = BatchPrg(_seeds(4)).packed_bits(70)
+        assert (out[:, -1] >> np.uint64(6) == 0).all()
+
+    def test_zero_count(self):
+        assert BatchPrg(_seeds(2)).packed_bits(0).shape == (2, 0)
+
+    def test_seed_validation(self):
+        with pytest.raises(CryptoError):
+            BatchPrg([])
+        with pytest.raises(CryptoError):
+            BatchPrg([b"short"])
+        with pytest.raises(CryptoError):
+            BatchPrg([bytes(16), bytes(15)])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CryptoError):
+            BatchPrg(_seeds(2)).packed_bits(-1)
+
+    def test_seeds_property(self):
+        seeds = _seeds(3)
+        assert BatchPrg(seeds).seeds == tuple(seeds)
