@@ -154,16 +154,18 @@ class _PartyBase:
     def _track_phase(self, label: str, fn):
         before = self.chan.stats.snapshot()
         start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        after = self.chan.stats.snapshot()
-        stats = PhaseStats(
-            seconds=elapsed,
-            payload_bytes=after.total_bytes - before.total_bytes,
-            rounds=after.rounds - before.rounds,
-        )
-        setattr(self, f"{label}_stats", stats)
-        return result
+        try:
+            return fn()
+        finally:
+            # Recorded even when the phase dies mid-way (channel fault,
+            # peer crash): error reports can then cite partial stats.
+            after = self.chan.stats.snapshot()
+            stats = PhaseStats(
+                seconds=time.perf_counter() - start,
+                payload_bytes=after.total_bytes - before.total_bytes,
+                rounds=after.rounds - before.rounds,
+            )
+            setattr(self, f"{label}_stats", stats)
 
 
 class Abnn2Server(_PartyBase):
@@ -421,6 +423,7 @@ def _joint_predict(
     ro: RandomOracle = default_ro,
     seed: int | None = 0,
     timeout_s: float = 600.0,
+    channels=None,
 ) -> PredictionReport:
     """Shared driver for ABNN2 and the baseline predictors."""
     x = np.atleast_2d(np.asarray(x_float, dtype=np.float64))
@@ -446,7 +449,7 @@ def _joint_predict(
         logits = client.online(x_ring)
         return client, logits
 
-    result = run_protocol(server_fn, client_fn, timeout_s=timeout_s)
+    result = run_protocol(server_fn, client_fn, timeout_s=timeout_s, channels=channels)
     server = result.server
     client, logits = result.client
     ring = model.ring
@@ -472,12 +475,15 @@ def secure_predict(
     ro: RandomOracle = default_ro,
     seed: int | None = 0,
     timeout_s: float = 600.0,
+    channels=None,
 ) -> PredictionReport:
     """Run the complete two-party prediction on one machine (two threads).
 
     ``x_float`` is ``(batch, features)``; the client encodes it in fixed
     point, both phases run back to back, and the report carries the phase
-    split a deployment would see.
+    split a deployment would see.  ``channels`` overrides the default
+    in-memory pair with explicit (server, client) endpoints — e.g. TCP
+    channels or :class:`~repro.net.faults.FaultyChannel` wrappers.
     """
     return _joint_predict(
         Abnn2Server,
@@ -489,4 +495,5 @@ def secure_predict(
         ro=ro,
         seed=seed,
         timeout_s=timeout_s,
+        channels=channels,
     )

@@ -29,5 +29,10 @@ class ChannelError(ReproError, RuntimeError):
     """The communication channel was closed or used incorrectly."""
 
 
+class HandshakeError(ChannelError):
+    """The transport-level session handshake failed (version, party, or
+    session-id mismatch) — the peers must not exchange protocol traffic."""
+
+
 class QuantizationError(ReproError, ValueError):
     """A value or model cannot be represented in the requested quantized form."""

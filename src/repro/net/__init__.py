@@ -1,6 +1,8 @@
-"""Two-party execution substrate: channels, thread runner, network models."""
+"""Two-party execution substrate: channels, thread runner, network models,
+TCP transport, and deterministic fault injection."""
 
 from repro.net.channel import Channel, ChannelStats, make_channel_pair
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, FaultyChannel
 from repro.net.runner import run_protocol, ProtocolResult
 from repro.net.netsim import NetworkModel, LAN, WAN_SECUREML, WAN_QUOTIENT
 
@@ -10,6 +12,10 @@ __all__ = [
     "make_channel_pair",
     "run_protocol",
     "ProtocolResult",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyChannel",
     "NetworkModel",
     "LAN",
     "WAN_SECUREML",

@@ -12,12 +12,20 @@ one :class:`ChannelStats`, which records, per direction:
 plus the number of **communication rounds**: a round begins whenever the
 sending party flips, so `k` back-to-back messages from one side cost one
 round.  Round counts drive the latency term of the WAN time model.
+
+Each queued frame carries a per-direction sequence number and a CRC32 of
+its encoded bytes, mirroring the TCP transport's framing, so a lost
+frame surfaces as a sequence gap and injected wire corruption (see
+:mod:`repro.net.faults`) is detected identically on both transports.
+Traffic is recorded only *after* a frame is actually handed to the peer,
+so a failed or injected-away send never inflates the accounting.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -97,6 +105,8 @@ class Channel:
         self.stats = stats
         self.timeout_s = timeout_s
         self._closed = False
+        self._send_seq = 0
+        self._recv_seq = 0
 
     # ------------------------------------------------------------------ #
     def send(self, obj: Any) -> None:
@@ -104,21 +114,38 @@ class Channel:
         if self._closed:
             raise ChannelError("send on closed channel")
         data = serialization.encode(obj)
+        self._outbox.put((self._send_seq, data, zlib.crc32(data)))
+        self._send_seq += 1
+        # Only after the frame is actually with the peer does it count.
         self.stats.record_send(self.party, serialization.payload_nbytes(obj), len(data))
-        self._outbox.put(data)
 
     def recv(self) -> Any:
         """Block until the peer's next message arrives and decode it."""
         if self._closed:
             raise ChannelError("recv on closed channel")
         try:
-            data = self._inbox.get(timeout=self.timeout_s)
+            item = self._inbox.get(timeout=self.timeout_s)
         except queue.Empty as exc:
             raise ChannelError(
                 f"party {self.party} timed out after {self.timeout_s}s waiting for peer"
             ) from exc
-        if data is _CLOSE_SENTINEL:
+        if item is _CLOSE_SENTINEL:
             raise ChannelError("peer closed the channel")
+        if item is _ABORT_SENTINEL:
+            raise ChannelError("peer connection lost (abrupt disconnect)")
+        seq, data, crc = item
+        if seq != self._recv_seq:
+            # A lost frame must not let a later message masquerade as the
+            # missing one — that desynchronizes the whole protocol.
+            raise ChannelError(
+                f"message sequence gap: expected frame #{self._recv_seq}, "
+                f"got #{seq} (a frame was lost)"
+            )
+        self._recv_seq += 1
+        if zlib.crc32(data) != crc:
+            raise ChannelError(
+                f"frame CRC mismatch on a {len(data)}-byte message (corrupted in transit)"
+            )
         return serialization.decode(data)
 
     def exchange(self, obj: Any) -> Any:
@@ -131,6 +158,41 @@ class Channel:
             self._closed = True
             self._outbox.put(_CLOSE_SENTINEL)
 
+    def abort(self) -> None:
+        """Drop the connection without the graceful-close signal.
+
+        Models a crashed process or cut cable: the peer's next ``recv``
+        raises a :class:`ChannelError` naming an abrupt disconnect.
+        """
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(_ABORT_SENTINEL)
+
+    def _inject_frame(self, data: bytes, valid_crc: bool) -> None:
+        """Fault-injection hook: enqueue raw encoded bytes as one frame.
+
+        Used by :class:`repro.net.faults.FaultyChannel`: ``valid_crc``
+        False models wire corruption (the receiver's CRC check fires);
+        True delivers the bytes intact, e.g. a truncated encoding the
+        receiver's decoder must reject.  Deliberately bypasses stats:
+        the accounting tracks intended protocol traffic, not noise.
+        """
+        if self._closed:
+            raise ChannelError("send on closed channel")
+        crc = zlib.crc32(data)
+        if not valid_crc:
+            crc ^= 0x5A5A5A5A
+        self._outbox.put((self._send_seq, data, crc))
+        self._send_seq += 1
+
+    def _skip_frame(self) -> None:
+        """Fault-injection hook: consume a sequence number without sending.
+
+        Models a frame lost in transit — the receiver detects the gap at
+        its next ``recv`` instead of silently shifting the stream.
+        """
+        self._send_seq += 1
+
     def __repr__(self) -> str:
         return f"Channel(party={self.party})"
 
@@ -140,6 +202,7 @@ class _CloseSentinel:
 
 
 _CLOSE_SENTINEL = _CloseSentinel()
+_ABORT_SENTINEL = _CloseSentinel()
 
 
 def make_channel_pair(timeout_s: float = DEFAULT_TIMEOUT_S) -> tuple[Channel, Channel]:

@@ -2,9 +2,20 @@
 
 Protocols in this library are written as ordinary straight-line functions
 ``party_fn(channel, *args) -> result``.  :func:`run_protocol` wires a
-channel pair, runs the server on a worker thread and the client on the
-calling thread, propagates exceptions from either side, and returns both
-results together with a traffic snapshot and per-party compute times.
+channel pair (or accepts pre-built/wrapped endpoints, e.g. a
+:class:`~repro.net.faults.FaultyChannel` or TCP channels), runs the
+server on a worker thread and the client on the calling thread,
+propagates exceptions from either side, and returns both results
+together with a traffic snapshot and per-party compute times.
+
+Failure handling is designed so nothing wedges and nothing is masked:
+
+* if both parties raise, the more informative exception wins and the
+  other is attached as its ``__context__``;
+* if the server thread outlives the client, both endpoints are closed
+  (which wakes a blocked ``recv``) and the thread is re-joined before a
+  :exc:`TimeoutError` — carrying whatever partial timing/traffic stats
+  exist — is raised, so no thread is left running against a live channel.
 """
 
 from __future__ import annotations
@@ -37,12 +48,20 @@ class ProtocolResult:
         return self.stats.rounds
 
 
+def _safe_close(chan) -> None:
+    try:
+        chan.close()
+    except Exception:  # noqa: BLE001 - closing a broken channel is best-effort
+        pass
+
+
 def _raise_root_cause(box: dict) -> None:
     """Re-raise the most informative party exception.
 
     When one party dies, the other typically follows with a secondary
     :class:`ChannelError` ("peer closed the channel"); prefer the original
-    failure so debugging points at the real bug.
+    failure so debugging points at the real bug, but keep the secondary
+    visible as the raised exception's ``__context__``.
     """
     from repro.errors import ChannelError
 
@@ -50,8 +69,12 @@ def _raise_root_cause(box: dict) -> None:
     excs = [e for e in excs if e is not None]
     if not excs:
         return
-    primary = [e for e in excs if not isinstance(e, ChannelError)]
-    raise (primary or excs)[0]
+    primary = ([e for e in excs if not isinstance(e, ChannelError)] or excs)[0]
+    if len(excs) == 2:
+        secondary = excs[1] if primary is excs[0] else excs[0]
+        if secondary is not primary and primary.__context__ is None:
+            primary.__context__ = secondary
+    raise primary
 
 
 def run_protocol(
@@ -60,14 +83,21 @@ def run_protocol(
     server_args: tuple = (),
     client_args: tuple = (),
     timeout_s: float = 120.0,
+    channels: tuple[Any, Any] | None = None,
+    join_grace_s: float = 10.0,
 ) -> ProtocolResult:
-    """Execute ``server_fn`` and ``client_fn`` against a fresh channel pair.
+    """Execute ``server_fn`` and ``client_fn`` against a channel pair.
 
     Each function receives its channel endpoint as first argument followed
     by its own ``*args``.  An exception on either side is re-raised here
-    (the server's first, if both fail).
+    (the server's first, if both fail).  ``channels`` overrides the
+    default in-memory pair with explicit (server, client) endpoints —
+    the hook fault-injection and TCP-transport tests use.
     """
-    server_chan, client_chan = make_channel_pair(timeout_s=timeout_s)
+    if channels is None:
+        server_chan, client_chan = make_channel_pair(timeout_s=timeout_s)
+    else:
+        server_chan, client_chan = channels
     box: dict[str, Any] = {}
 
     def _server_main() -> None:
@@ -76,7 +106,7 @@ def run_protocol(
             box["server"] = server_fn(server_chan, *server_args)
         except BaseException as exc:  # noqa: BLE001 - must cross the thread
             box["server_exc"] = exc
-            server_chan.close()
+            _safe_close(server_chan)
         finally:
             box["server_time"] = time.perf_counter() - start
 
@@ -89,17 +119,29 @@ def run_protocol(
         box["client"] = client_fn(client_chan, *client_args)
     except BaseException as exc:  # noqa: BLE001
         box["client_exc"] = exc
-        client_chan.close()
+        _safe_close(client_chan)
     finally:
         box["client_time"] = time.perf_counter() - client_start
 
     # Grace period past the channel timeout: the server's own recv timeout
     # must get the chance to fire first so the error is attributable.
-    thread.join(timeout=timeout_s + 10.0)
+    thread.join(timeout=timeout_s + join_grace_s)
+    if thread.is_alive():
+        # Closing the *client* endpoint is what wakes a server blocked in
+        # recv (its inbox gets the close sentinel); close both for good
+        # measure, then give the thread one last chance to unwind.
+        _safe_close(client_chan)
+        _safe_close(server_chan)
+        thread.join(timeout=join_grace_s)
     wall = time.perf_counter() - wall_start
     if thread.is_alive():
-        server_chan.close()
-        raise TimeoutError(f"server thread did not finish within {timeout_s}s")
+        stats = server_chan.stats.snapshot()
+        raise TimeoutError(
+            f"server thread did not finish within {timeout_s}s "
+            f"(client_time={box['client_time']:.3f}s, "
+            f"traffic so far: {stats.total_bytes} payload bytes, "
+            f"{stats.total_messages} messages, {stats.rounds} rounds)"
+        )
 
     _raise_root_cause(box)
 

@@ -65,27 +65,48 @@ def decode(data: bytes) -> Any:
     return obj
 
 
+def _need(data: bytes, offset: int, nbytes: int, what: str) -> None:
+    """Reject truncated input before slicing: ``data[a:b]`` never raises."""
+    if nbytes < 0 or offset + nbytes > len(data):
+        raise ProtocolError(
+            f"truncated message: need {nbytes} bytes for {what} at offset "
+            f"{offset}, have {len(data) - offset}"
+        )
+
+
 def _decode_at(data: bytes, offset: int):
+    _need(data, offset, 1, "tag")
     tag = data[offset]
     offset += 1
     if tag == _TAG_BYTES:
+        _need(data, offset, 8, "bytes header")
         (length,) = struct.unpack_from("<Q", data, offset)
         offset += 8
+        _need(data, offset, length, "bytes payload")
         return data[offset : offset + length], offset + length
     if tag == _TAG_ARRAY:
+        _need(data, offset, 2, "array header")
         code, ndim = struct.unpack_from("<BB", data, offset)
         offset += 2
+        if code not in _DTYPES:
+            raise ProtocolError(f"unknown array dtype code {code}")
+        _need(data, offset, 8 * ndim, "array shape")
         shape = struct.unpack_from(f"<{ndim}Q", data, offset)
         offset += 8 * ndim
         dt = _DTYPES[code]
-        count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+        count = 1  # python ints: huge (corrupted) dims must not wrap around
+        for dim in shape:
+            count *= dim
         nbytes = count * dt.itemsize
+        _need(data, offset, nbytes, "array payload")
         arr = np.frombuffer(data, dtype=dt, count=count, offset=offset).reshape(shape)
         return arr.copy(), offset + nbytes
     if tag == _TAG_INT:
+        _need(data, offset, 8, "int payload")
         (value,) = struct.unpack_from("<q", data, offset)
         return value, offset + 8
     if tag == _TAG_TUPLE:
+        _need(data, offset, 4, "tuple header")
         (count,) = struct.unpack_from("<I", data, offset)
         offset += 4
         items = []

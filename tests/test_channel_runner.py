@@ -1,6 +1,7 @@
 """Channels, traffic accounting, and the two-party thread runner."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -48,6 +49,25 @@ class TestChannel:
         arr = rng.integers(0, 100, size=(4, 4), dtype=np.uint64)
         server.send(arr)
         assert (client.recv() == arr).all()
+
+    def test_abort_distinct_from_close(self):
+        server, client = make_channel_pair()
+        server.abort()
+        with pytest.raises(ChannelError, match="connection lost"):
+            client.recv()
+
+    def test_injected_corruption_caught_by_crc(self):
+        server, client = make_channel_pair()
+        server._inject_frame(b"\x02" + b"\x00" * 8, valid_crc=False)
+        with pytest.raises(ChannelError, match="CRC mismatch"):
+            client.recv()
+
+    def test_skipped_frame_reported_as_gap(self):
+        server, client = make_channel_pair()
+        server._skip_frame()
+        server.send(1)
+        with pytest.raises(ChannelError, match="sequence gap"):
+            client.recv()
 
 
 class TestStats:
@@ -153,3 +173,78 @@ class TestRunner:
     def test_stats_snapshot_returned(self):
         result = run_protocol(lambda c: c.send(b"xy"), lambda c: c.recv())
         assert result.total_bytes == 2
+
+    def test_explicit_channels_used(self):
+        server_chan, client_chan = make_channel_pair(timeout_s=5)
+        result = run_protocol(
+            lambda c: c.send(b"abc"),
+            lambda c: c.recv(),
+            channels=(server_chan, client_chan),
+        )
+        assert result.client == b"abc"
+        assert server_chan.stats.total_bytes == 3
+
+    def test_secondary_exception_attached_as_context(self):
+        """Both failures must be visible: primary raised, secondary chained."""
+
+        def server_fn(chan):
+            chan.recv()  # dies with "peer closed" after the client crashes
+
+        def bad_client(chan):
+            raise RuntimeError("client boom")
+
+        with pytest.raises(RuntimeError, match="client boom") as excinfo:
+            run_protocol(server_fn, bad_client, timeout_s=5)
+        assert isinstance(excinfo.value.__context__, ChannelError)
+
+    def test_no_thread_leak_after_client_crash(self):
+        def server_fn(chan):
+            chan.recv()
+
+        def bad_client(chan):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_protocol(server_fn, bad_client, timeout_s=5)
+        assert not [t for t in threading.enumerate() if t.name == "abnn2-server"]
+
+    def test_timeout_error_carries_partial_stats(self):
+        """A wedged server must yield a bounded, informative TimeoutError."""
+
+        def wedged_server(chan):
+            chan.recv()  # consume, then wedge outside any channel wait
+            time.sleep(3.0)
+
+        def client_fn(chan):
+            chan.send(b"12345")
+            return "done"
+
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="traffic so far: 5 payload bytes"):
+            run_protocol(wedged_server, client_fn, timeout_s=0.2, join_grace_s=0.2)
+        assert time.monotonic() - start < 2.5
+
+    def test_timeout_wakes_server_blocked_in_recv(self):
+        """Closing both endpoints unblocks a server stuck past the runner's
+        patience (its own recv deadline is much longer)."""
+
+        def stuck_server(chan):
+            chan.recv()
+
+        def client_fn(chan):
+            return "client finished without sending"
+
+        channels = make_channel_pair(timeout_s=60)
+        start = time.monotonic()
+        with pytest.raises((ChannelError, TimeoutError)):
+            run_protocol(
+                stuck_server, client_fn,
+                timeout_s=0.2, join_grace_s=0.5, channels=channels,
+            )
+        assert time.monotonic() - start < 5.0
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if not [t for t in threading.enumerate() if t.name == "abnn2-server"]:
+                break
+            time.sleep(0.02)
+        assert not [t for t in threading.enumerate() if t.name == "abnn2-server"]

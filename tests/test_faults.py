@@ -1,0 +1,264 @@
+"""Deterministic fault injection: the session must fail typed, never wedge.
+
+The soak matrix runs `secure_predict` under every fault class with fixed
+seeds (overridable via ``ABNN2_FAULT_SEEDS``): the run must either
+produce logits identical to the fault-free reference or raise a typed
+``ChannelError``/``ProtocolError`` within the deadline — no hangs, no
+silent wrong answers, no leaked server threads.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import secure_predict
+from repro.errors import ChannelError, ConfigError, ProtocolError
+from repro.net import make_channel_pair
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, FaultyChannel
+from repro.nn.model import mnist_mlp
+from repro.nn.quantize import quantize_model
+from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import Ring
+
+SEEDS = tuple(
+    int(s) for s in os.environ.get("ABNN2_FAULT_SEEDS", "0,1,2").split(",")
+)
+TIMEOUT_S = 3.0
+#: recv deadline + runner join grace + scheduling slack
+DEADLINE_S = TIMEOUT_S + 10.0 + 5.0
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    """Untrained but valid QNN — fault tests need determinism, not accuracy."""
+    model = mnist_mlp(seed=7, hidden=4, input_dim=16)
+    return quantize_model(model, FragmentScheme.ternary(), Ring(32), frac_bits=6)
+
+
+@pytest.fixture(scope="module")
+def tiny_x():
+    return np.random.default_rng(0).normal(scale=0.25, size=(1, 16))
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_model, tiny_x):
+    """Fault-free run: golden logits plus per-party message counts."""
+    from repro.crypto.group import MODP_TEST
+
+    server_chan, client_chan = make_channel_pair(timeout_s=TIMEOUT_S)
+    report = secure_predict(
+        tiny_model, tiny_x, group=MODP_TEST, seed=9,
+        timeout_s=TIMEOUT_S, channels=(server_chan, client_chan),
+    )
+    return report.logits_int, server_chan.stats.snapshot()
+
+
+def _assert_no_leaked_server_threads():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate() if t.name == "abnn2-server"]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"leaked protocol threads: {leaked}")
+
+
+class TestPlan:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.seeded("corrupt", seed=4, max_index=11)
+        b = FaultPlan.seeded("corrupt", seed=4, max_index=11)
+        assert a.specs == b.specs
+        assert 0 <= a.specs[0].message_index < 11
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="gamma-ray", message_index=0)
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                (FaultSpec("drop", 3), FaultSpec("corrupt", 3))
+            )
+
+
+class TestFaultyChannelUnit:
+    def test_delay_preserves_message(self):
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("delay", 0, delay_s=0.01),)))
+        faulty.send(b"payload")
+        assert client.recv() == b"payload"
+        assert len(faulty.fired) == 1
+
+    def test_drop_swallows_and_skips_stats(self):
+        server, client = make_channel_pair(timeout_s=0.1)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("drop", 0),)))
+        faulty.send(b"payload")
+        assert faulty.stats.total_messages == 0
+        with pytest.raises(ChannelError, match="timed out"):
+            client.recv()
+
+    def test_drop_followed_by_send_reports_sequence_gap(self):
+        """A later message must not masquerade as the dropped one."""
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("drop", 0),)))
+        faulty.send(b"lost")
+        faulty.send(b"next")
+        with pytest.raises(ChannelError, match="sequence gap"):
+            client.recv()
+
+    def test_truncate_raises_protocol_error(self, rng):
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("truncate", 0),)))
+        faulty.send(rng.integers(0, 99, size=64, dtype=np.uint64))
+        with pytest.raises(ProtocolError, match="truncated"):
+            client.recv()
+
+    def test_corrupt_raises_crc_error(self, rng):
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("corrupt", 0, seed=3),)))
+        faulty.send(rng.integers(0, 99, size=64, dtype=np.uint64))
+        with pytest.raises(ChannelError, match="CRC mismatch"):
+            client.recv()
+
+    def test_disconnect_raises_both_sides(self):
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("disconnect", 1),)))
+        faulty.send(b"ok")
+        assert client.recv() == b"ok"
+        with pytest.raises(ChannelError, match="injected disconnect"):
+            faulty.send(b"never arrives")
+        with pytest.raises(ChannelError, match="connection lost"):
+            client.recv()
+
+    def test_faults_indexed_by_send_count(self):
+        server, client = make_channel_pair(timeout_s=2)
+        faulty = FaultyChannel(server, FaultPlan((FaultSpec("drop", 2),)))
+        faulty.send(b"a")
+        faulty.send(b"b")
+        faulty.send(b"dropped")
+        faulty.send(b"c")
+        assert client.recv() == b"a"
+        assert client.recv() == b"b"
+        # The message after the drop is detected as out of sequence.
+        with pytest.raises(ChannelError, match="sequence gap"):
+            client.recv()
+
+
+class TestSoak:
+    """The acceptance matrix: every fault class x every fixed seed."""
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_secure_predict_under_fault(
+        self, kind, seed, tiny_model, tiny_x, test_group, reference
+    ):
+        ref_logits, ref_stats = reference
+        # Alternate which party hosts the injector; index into that
+        # party's send sequence from the fault-free message counts.
+        party = seed % 2
+        plan = FaultPlan.seeded(
+            kind, seed=seed, max_index=ref_stats.messages_sent[party], delay_s=0.02
+        )
+        server_chan, client_chan = make_channel_pair(timeout_s=TIMEOUT_S)
+        endpoints = [server_chan, client_chan]
+        endpoints[party] = FaultyChannel(endpoints[party], plan)
+
+        start = time.monotonic()
+        try:
+            report = secure_predict(
+                tiny_model, tiny_x, group=test_group, seed=9,
+                timeout_s=TIMEOUT_S, channels=tuple(endpoints),
+            )
+        except (ChannelError, ProtocolError):
+            pass  # typed, attributable failure: acceptable
+        else:
+            # The run survived (e.g. a delay, or a drop of nothing the
+            # peer waited on) — then the answer must be *right*.
+            assert (report.logits_int == ref_logits).all(), (
+                f"fault {kind}/seed {seed} silently corrupted the prediction"
+            )
+        elapsed = time.monotonic() - start
+        assert elapsed < DEADLINE_S, (
+            f"fault {kind}/seed {seed} exceeded the deadline ({elapsed:.1f}s)"
+        )
+        _assert_no_leaked_server_threads()
+
+class TestOverTcp:
+    """The same session layer must hold over real sockets."""
+
+    def _tcp_pair(self, timeout_s):
+        import socket
+
+        from repro.net import tcp
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        box = {}
+
+        def _serve():
+            box["server"] = tcp.listen(port, timeout_s=timeout_s)
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        client = tcp.connect("127.0.0.1", port, timeout_s=timeout_s)
+        thread.join(timeout=timeout_s)
+        return box["server"], client
+
+    def test_fault_free_run_matches_in_memory(
+        self, tiny_model, tiny_x, test_group, reference
+    ):
+        ref_logits, ref_stats = reference
+        server_chan, client_chan = self._tcp_pair(timeout_s=30.0)
+        try:
+            report = secure_predict(
+                tiny_model, tiny_x, group=test_group, seed=9,
+                timeout_s=30.0, channels=(server_chan, client_chan),
+            )
+        finally:
+            server_chan.close()
+            client_chan.close()
+        assert (report.logits_int == ref_logits).all()
+        tcp_stats = server_chan.stats
+        # Accounting is transport-independent: payloads, messages, rounds.
+        assert tcp_stats.bytes_sent == ref_stats.bytes_sent
+        assert tcp_stats.messages_sent == ref_stats.messages_sent
+        assert tcp_stats.rounds == ref_stats.rounds
+
+    @pytest.mark.parametrize("kind", ["corrupt", "truncate", "disconnect"])
+    def test_faulted_run_fails_typed(
+        self, kind, tiny_model, tiny_x, test_group, reference
+    ):
+        _ref_logits, ref_stats = reference
+        plan = FaultPlan.seeded(kind, seed=1, max_index=ref_stats.messages_sent[1])
+        server_chan, client_chan = self._tcp_pair(timeout_s=TIMEOUT_S)
+        start = time.monotonic()
+        try:
+            with pytest.raises((ChannelError, ProtocolError)):
+                secure_predict(
+                    tiny_model, tiny_x, group=test_group, seed=9,
+                    timeout_s=TIMEOUT_S,
+                    channels=(server_chan, FaultyChannel(client_chan, plan)),
+                )
+        finally:
+            server_chan.close()
+            client_chan.close()
+        assert time.monotonic() - start < DEADLINE_S
+        _assert_no_leaked_server_threads()
+
+
+class TestDelayCompletes:
+    def test_delay_class_always_completes(self, tiny_model, tiny_x, test_group, reference):
+        """Delays are the one class that must never break the protocol."""
+        ref_logits, ref_stats = reference
+        plan = FaultPlan.seeded("delay", seed=0, max_index=ref_stats.messages_sent[1])
+        server_chan, client_chan = make_channel_pair(timeout_s=TIMEOUT_S)
+        report = secure_predict(
+            tiny_model, tiny_x, group=test_group, seed=9, timeout_s=TIMEOUT_S,
+            channels=(server_chan, FaultyChannel(client_chan, plan)),
+        )
+        assert (report.logits_int == ref_logits).all()
+        _assert_no_leaked_server_threads()

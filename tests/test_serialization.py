@@ -45,6 +45,102 @@ class TestRoundtrip:
         assert (ser.decode(ser.encode(arr)) == arr).all()
 
 
+def _sample_objects(rng):
+    return [
+        b"",
+        b"short",
+        bytes(rng.integers(0, 255, size=100, dtype=np.uint8)),
+        0,
+        -(1 << 40),
+        rng.integers(0, 1 << 30, size=(3, 4), dtype=np.uint64),
+        rng.integers(0, 2, size=17, dtype=np.bool_),
+        np.array(9, dtype=np.uint16),
+        (b"tag", 7, rng.integers(0, 99, size=(2, 5), dtype=np.uint32)),
+        ((1, (2, b"x")), np.arange(6, dtype=np.int64)),
+    ]
+
+
+class TestTruncationFuzz:
+    """Every strict prefix of a valid encoding must be rejected loudly."""
+
+    def test_all_prefixes_raise(self, rng):
+        for obj in _sample_objects(rng):
+            data = ser.encode(obj)
+            for cut in range(len(data)):
+                with pytest.raises(ProtocolError):
+                    ser.decode(data[:cut])
+
+    def test_short_bytes_payload(self):
+        data = ser.encode(b"0123456789")
+        with pytest.raises(ProtocolError, match="truncated"):
+            ser.decode(data[:-3])
+
+    def test_short_array_payload(self, rng):
+        data = ser.encode(rng.integers(0, 9, size=32, dtype=np.uint64))
+        with pytest.raises(ProtocolError, match="truncated"):
+            ser.decode(data[:-1])
+
+    def test_tuple_missing_items(self):
+        data = ser.encode((1, 2, 3))
+        # Cut inside the third item: the tuple header still promises 3.
+        with pytest.raises(ProtocolError):
+            ser.decode(data[:-5])
+
+
+class TestMutationFuzz:
+    """Random byte flips must never escape the ProtocolError taxonomy.
+
+    A mutation may still decode (flips inside payload bytes are data the
+    CRC layer, not the decoder, is responsible for) — but the decoder
+    must never throw anything other than ProtocolError, and never
+    allocate absurd amounts from a corrupted length field.
+    """
+
+    def test_mutations_fail_typed_or_decode(self, rng):
+        objects = _sample_objects(rng)
+        for obj in objects:
+            data = bytearray(ser.encode(obj))
+            for trial in range(200):
+                bad = bytearray(data)
+                for _ in range(rng.integers(1, 4)):
+                    pos = rng.integers(0, len(bad))
+                    bad[pos] ^= 1 << rng.integers(0, 8)
+                try:
+                    ser.decode(bytes(bad))
+                except ProtocolError:
+                    pass  # typed rejection: the contract
+
+    def test_huge_length_field_rejected_not_allocated(self):
+        # A corrupted bytes-length of 2^63 must raise, not allocate.
+        data = bytearray(ser.encode(b"abcd"))
+        data[1:9] = (1 << 63).to_bytes(8, "little")
+        with pytest.raises(ProtocolError, match="truncated"):
+            ser.decode(bytes(data))
+
+    def test_huge_array_shape_rejected(self, rng):
+        data = bytearray(ser.encode(np.zeros((2, 2), dtype=np.uint64)))
+        # Overwrite the first shape dim (offset 3: tag+code+ndim) with 2^60.
+        data[3:11] = (1 << 60).to_bytes(8, "little")
+        with pytest.raises(ProtocolError, match="truncated"):
+            ser.decode(bytes(data))
+
+    def test_shape_overflow_does_not_wrap(self):
+        # Two dims whose int64 product would wrap to something small.
+        arr = np.zeros((1, 1), dtype=np.uint8)
+        data = bytearray(ser.encode(arr))
+        big = 1 << 32
+        data[3:11] = big.to_bytes(8, "little")
+        data[11:19] = big.to_bytes(8, "little")  # product = 2^64 ≡ 0 in int64
+        with pytest.raises(ProtocolError, match="truncated"):
+            ser.decode(bytes(data))
+
+    def test_unknown_dtype_code_rejected(self, rng):
+        data = bytearray(ser.encode(np.zeros(3, dtype=np.uint8)))
+        data[1] = 250  # dtype code far outside the registry
+        with pytest.raises(ProtocolError, match="dtype"):
+            ser.decode(bytes(data))
+
+
 class TestErrors:
     def test_unsupported_type(self):
         with pytest.raises(ProtocolError):

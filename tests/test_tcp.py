@@ -1,7 +1,9 @@
-"""TCP transport: framing, accounting, and full protocols over sockets."""
+"""TCP transport: framing, handshake, accounting, and protocols over sockets."""
 
 import socket
+import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -11,9 +13,11 @@ from repro.core.triplets import (
     generate_triplets_client,
     generate_triplets_server,
 )
-from repro.errors import ChannelError
+from repro.errors import ChannelError, HandshakeError, ProtocolError
 from repro.net import tcp
+from repro.net.channel import make_channel_pair
 from repro.quant.fragments import FragmentScheme
+from repro.utils import serialization
 from repro.utils.ring import Ring
 
 
@@ -92,9 +96,176 @@ class TestFraming:
         with pytest.raises(ChannelError):
             tcp.connect("127.0.0.1", _free_port(), timeout_s=1, retries=2, retry_delay_s=0.01)
 
+    def test_connect_deadline_caps_retries(self):
+        """Many retries must still respect the single overall deadline."""
+        start = time.monotonic()
+        with pytest.raises(ChannelError, match="within"):
+            tcp.connect(
+                "127.0.0.1", _free_port(),
+                retries=10_000, retry_delay_s=0.05, deadline_s=0.4,
+            )
+        assert time.monotonic() - start < 3.0
+
     def test_listen_timeout(self):
         with pytest.raises(ChannelError, match="no client"):
             tcp.listen(_free_port(), timeout_s=0.2)
+
+
+def _raw_channel(timeout_s=2.0):
+    """A TcpChannel over one end of a socketpair, raw socket on the other."""
+    raw, end = socket.socketpair()
+    chan = tcp.TcpChannel(end, party=0, timeout_s=timeout_s, handshake=False)
+    raw.settimeout(timeout_s)
+    return raw, chan
+
+
+class TestHardenedFraming:
+    def test_oversized_frame_rejected(self):
+        raw, chan = _raw_channel()
+        try:
+            head = struct.pack("<BQQ", 0, 0, tcp.MAX_FRAME_BYTES + 1)
+            raw.sendall(head)
+            with pytest.raises(ChannelError, match="absurd"):
+                chan.recv()
+        finally:
+            raw.close()
+            chan.abort()
+
+    def test_peer_closed_mid_frame(self):
+        raw, chan = _raw_channel()
+        try:
+            head = struct.pack("<BQQ", 0, 0, 100)  # promises 100 payload bytes
+            raw.sendall(head + b"only-ten-b")
+            raw.shutdown(socket.SHUT_WR)  # clean EOF mid-frame
+            with pytest.raises(ChannelError, match="mid-frame"):
+                chan.recv()
+        finally:
+            raw.close()
+            chan.abort()
+
+    def test_crc_mismatch_rejected(self):
+        raw, chan = _raw_channel()
+        try:
+            data = serialization.encode(b"payload")
+            head = struct.pack("<BQQ", 0, 0, len(data))
+            good = __import__("zlib").crc32(head + data)
+            raw.sendall(head + data + struct.pack("<I", good ^ 1))
+            with pytest.raises(ChannelError, match="CRC mismatch"):
+                chan.recv()
+        finally:
+            raw.close()
+            chan.abort()
+
+    def test_sequence_gap_rejected(self):
+        raw, chan = _raw_channel()
+        try:
+            data = serialization.encode(b"payload")
+            head = struct.pack("<BQQ", 0, 5, len(data))  # frame #5 out of the blue
+            crc = __import__("zlib").crc32(head + data)
+            raw.sendall(head + data + struct.pack("<I", crc))
+            with pytest.raises(ChannelError, match="sequence gap"):
+                chan.recv()
+        finally:
+            raw.close()
+            chan.abort()
+
+    def test_inject_frame_faults_surface_typed(self):
+        """The fault hooks produce the same typed errors as real damage."""
+        server, client = _tcp_pair()
+        try:
+            data = serialization.encode(b"protocol message")
+            server._inject_frame(data[: len(data) // 2], valid_crc=True)
+            with pytest.raises(ProtocolError, match="truncated"):
+                client.recv()
+            server._inject_frame(data, valid_crc=False)
+            with pytest.raises(ChannelError, match="CRC mismatch"):
+                client.recv()
+        finally:
+            server.close()
+            client.close()
+
+    def test_abort_is_not_graceful(self):
+        server, client = _tcp_pair()
+        server.abort()
+        with pytest.raises(ChannelError, match="closed|failed|reset"):
+            client.recv()
+        client.close()
+
+
+def _connect_raw(port, deadline_s=5.0):
+    """Raw client socket that retries until the listener thread has bound."""
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=5)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.02)
+
+
+class TestHandshake:
+    def _listener(self, port, box, **kwargs):
+        def _serve():
+            try:
+                box["server"] = tcp.listen(port, timeout_s=5.0, **kwargs)
+            except ChannelError as exc:
+                box["exc"] = exc
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        return thread
+
+    def test_version_mismatch(self):
+        port = _free_port()
+        box = {}
+        thread = self._listener(port, box)
+        with _connect_raw(port) as raw:
+            raw.sendall(struct.pack("<4sHBQ", b"AB2\x00", tcp.WIRE_VERSION + 7, 1, 0))
+            thread.join(timeout=5)
+        assert isinstance(box.get("exc"), HandshakeError)
+        assert "version" in str(box["exc"])
+
+    def test_bad_magic(self):
+        port = _free_port()
+        box = {}
+        thread = self._listener(port, box)
+        with _connect_raw(port) as raw:
+            raw.sendall(struct.pack("<4sHBQ", b"HTTP", tcp.WIRE_VERSION, 1, 0))
+            thread.join(timeout=5)
+        assert isinstance(box.get("exc"), HandshakeError)
+
+    def test_party_collision(self):
+        port = _free_port()
+        box = {}
+        thread = self._listener(port, box)
+        with _connect_raw(port) as raw:
+            # Claim party 0 — same as the listener.
+            raw.sendall(struct.pack("<4sHBQ", b"AB2\x00", tcp.WIRE_VERSION, 0, 0))
+            thread.join(timeout=5)
+        assert isinstance(box.get("exc"), HandshakeError)
+        assert "party" in str(box["exc"])
+
+    def test_session_id_mismatch(self):
+        port = _free_port()
+        box = {}
+        self._listener(port, box, session_id=111)
+        with pytest.raises(HandshakeError, match="session"):
+            tcp.connect("127.0.0.1", port, timeout_s=5.0, session_id=222)
+
+    def test_matching_session_id_connects(self):
+        port = _free_port()
+        box = {}
+        thread = self._listener(port, box, session_id=42)
+        client = tcp.connect("127.0.0.1", port, timeout_s=5.0, session_id=42)
+        thread.join(timeout=5)
+        server = box["server"]
+        try:
+            server.send(b"hello")
+            assert client.recv() == b"hello"
+        finally:
+            server.close()
+            client.close()
 
 
 class TestProtocolOverTcp:
@@ -122,3 +293,46 @@ class TestProtocolOverTcp:
         client_chan.close()
         got = ring.add(box["u"], v)
         assert (got == ring.matmul(ring.reduce(w), r)).all()
+
+    def test_stats_agree_with_in_memory_transport(self, test_group, rng):
+        """Payload/message/round accounting is transport-independent."""
+        ring = Ring(32)
+        scheme = FragmentScheme.from_bits((2, 2))
+        w = rng.integers(-8, 8, size=(3, 5))
+        r = ring.sample(rng, (5, 2))
+        config = TripletConfig(ring=ring, scheme=scheme, m=3, n=5, o=2, group=test_group)
+
+        def _run(server_chan, client_chan):
+            thread = threading.Thread(
+                target=lambda: generate_triplets_server(server_chan, w, config, seed=1),
+                daemon=True,
+            )
+            thread.start()
+            generate_triplets_client(
+                client_chan, r, config, np.random.default_rng(3), seed=2
+            )
+            thread.join(timeout=60)
+            return server_chan.stats.snapshot()
+
+        mem = _run(*make_channel_pair(timeout_s=60))
+        server_chan, client_chan = _tcp_pair(timeout_s=60)
+        try:
+            over_tcp = _run(server_chan, client_chan)
+        finally:
+            server_chan.close()
+            client_chan.close()
+        assert over_tcp.bytes_sent == mem.bytes_sent
+        assert over_tcp.messages_sent == mem.messages_sent
+        assert over_tcp.rounds == mem.rounds
+
+
+class TestAccounting:
+    def test_failed_send_not_counted(self):
+        """A send that never hits the wire must not inflate traffic."""
+        server, client = _tcp_pair()
+        client.close()
+        server._sock.close()  # sever the transport under the channel
+        with pytest.raises(ChannelError):
+            server.send(b"never leaves")
+        assert server.stats.total_bytes == 0
+        assert server.stats.total_messages == 0
