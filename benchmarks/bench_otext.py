@@ -43,6 +43,7 @@ from repro.crypto.otext_reference import (
 from repro.net.channel import make_channel_pair
 from repro.net.netsim import LAN
 from repro.perf.timing import BenchRow, format_table
+from repro.perf.trace import Tracer
 
 N_VALUES = 4  # the paper's workhorse radix (Table 2's (2,2,...) schemes)
 
@@ -54,6 +55,13 @@ N_VALUES = 4  # the paper's workhorse radix (Table 2's (2,2,...) schemes)
 SPEEDUP_FLOOR = 5.0
 QUICK_SPEEDUP_FLOOR = 2.5
 VECTORIZED_KK13_OTS_PER_S_FLOOR = 100_000.0
+
+#: Ceiling on the relative cost of running the same workload with a
+#: :class:`repro.perf.trace.Tracer` attached to both channel endpoints.
+#: Quick mode gates laxer: with small batches the fixed per-message hook
+#: cost weighs disproportionately and the ratio is noisy.
+TRACE_OVERHEAD_CEIL = 0.05
+QUICK_TRACE_OVERHEAD_CEIL = 0.25
 
 
 def _setup_sessions(sender_cls, receiver_cls, kind: str, seed: int):
@@ -111,6 +119,41 @@ def _time_engine(sender_cls, receiver_cls, kind: str, m: int, reps: int, seed: i
         payload = after.total_bytes - before.total_bytes
         rounds = after.rounds - before.rounds
     return rep_times, payload, rounds
+
+
+def run_trace_overhead(m: int, reps: int) -> dict:
+    """Tracer cost on the vectorized KK13 hot path: traced vs untraced.
+
+    Same single-threaded extension loop as the engine benchmark; the
+    traced variant attaches one tracer per endpoint so every message
+    passes through ``Tracer.record_io`` and every ``_extend`` call opens
+    its ``extension`` span via ``channel_span``.
+    """
+    best = {}
+    for label, traced in (("untraced", False), ("traced", True)):
+        sender, receiver = _setup_sessions(Kk13Sender, Kk13Receiver, "kk13", seed=29)
+        if traced:
+            sender.chan.tracer = Tracer("server")
+            receiver.chan.tracer = Tracer("client")
+        rng = np.random.default_rng(29)
+        choices = rng.integers(0, N_VALUES, size=m)
+        receiver._extend(choices)  # warm-up rep, untimed
+        sender._extend(m)
+        rep_times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            receiver._extend(choices)
+            sender._extend(m)
+            rep_times.append(time.perf_counter() - t0)
+        best[label] = min(rep_times)
+    overhead = best["traced"] / best["untraced"] - 1.0
+    return {
+        "m": m,
+        "reps": reps,
+        "untraced_best_s": round(best["untraced"], 4),
+        "traced_best_s": round(best["traced"], 4),
+        "overhead_frac": round(overhead, 4),
+    }
 
 
 def run_bench(m: int, reps: int) -> dict:
@@ -186,6 +229,15 @@ def main(argv=None) -> int:
     print(format_table(rows, [LAN], title=f"OT-extension engines (m={m}, reps={reps})"))
     print(f"speedup: kk13 {result['speedup']['kk13']}x, iknp {result['speedup']['iknp']}x")
 
+    overhead_ceil = QUICK_TRACE_OVERHEAD_CEIL if args.quick else TRACE_OVERHEAD_CEIL
+    overhead = run_trace_overhead(m, reps=5)
+    result["trace_overhead"] = overhead
+    result["floors"]["trace_overhead_ceil"] = overhead_ceil
+    print(
+        f"tracer overhead (vectorized kk13): {100 * overhead['overhead_frac']:.1f}% "
+        f"({overhead['untraced_best_s']}s -> {overhead['traced_best_s']}s per rep)"
+    )
+
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")
 
@@ -200,6 +252,11 @@ def main(argv=None) -> int:
         failures.append(
             f"vectorized KK13 throughput {throughput[('kk13', 'vectorized')]:.0f} OT/s "
             f"below floor {VECTORIZED_KK13_OTS_PER_S_FLOOR:.0f}"
+        )
+    if overhead["overhead_frac"] > overhead_ceil:
+        failures.append(
+            f"tracer overhead {100 * overhead['overhead_frac']:.1f}% above "
+            f"ceiling {100 * overhead_ceil:.0f}%"
         )
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -69,6 +69,23 @@ def main() -> None:
     )
     print(f"communication rounds: {report.rounds}")
 
+    print("\n== 4. per-layer accounting (from the protocol trace) ==")
+    # secure_predict returns each party's span trace; the report module
+    # compares every traced layer against the Table 1 closed forms.
+    from repro.perf.report import conformance_rows
+
+    for row in conformance_rows(report.client_trace):
+        predicted = (
+            f"{row.predicted_bits / 8 / mb:.2f} MB predicted"
+            if row.predicted_bits is not None
+            else "unmodeled"
+        )
+        status = {True: "OK", False: "MISMATCH", None: ""}[row.ok]
+        print(
+            f"  {row.path:<24} {row.core_bits / 8 / mb:>7.2f} MB measured"
+            f"  vs {predicted:<22} {status}"
+        )
+
 
 if __name__ == "__main__":
     main()

@@ -36,6 +36,18 @@ def main() -> None:
     measured_mb = report.total_bytes / MB
     print(f"measured: {compute_s:.2f}s compute, {measured_mb:.2f} MB, {report.rounds} rounds")
 
+    # the trace splits that measurement per phase and projects each link
+    from repro.perf.report import phase_rows
+
+    for row in phase_rows(report.client_trace, LINKS):
+        projected = ", ".join(
+            f"{name} {seconds:.2f}s" for name, seconds in row.projections.items()
+        )
+        print(
+            f"  {row.name:<8} {row.payload_bytes / MB:>6.2f} MB, "
+            f"{row.rounds} rounds -> {projected}"
+        )
+
     print("\n== plan: batch-size sweep over link profiles (4-bit weights) ==")
     print(f"{'batch':>6} {'offline MB':>11} {'online MB':>10}", end="")
     for link in LINKS:

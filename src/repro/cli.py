@@ -14,6 +14,10 @@ a model owner's process and a data owner's process talking over TCP:
     # protocol-parameter planning
     repro-abnn2 cost --eta 8 --batch 128
 
+    # observability: render a trace's measured-vs-predicted table
+    repro-abnn2 report --trace trace.json
+    repro-abnn2 report --demo --save-trace trace.json --check
+
 ``train`` uses the synthetic MNIST-like task (the sandbox substitute for
 MNIST); ``predict --demo N`` draws N test digits from it.  Arbitrary
 inputs come in as ``.npy`` files shaped ``(batch, features)``.
@@ -99,6 +103,9 @@ def cmd_serve(args) -> int:
             f"{server.online_stats.seconds:.2f}s.  The prediction belongs "
             "to the client; this side saw only shares."
         )
+        if args.trace_out:
+            server.tracer.save(args.trace_out)
+            print(f"wrote trace: {args.trace_out}")
     finally:
         chan.close()
     return 0
@@ -137,11 +144,52 @@ def cmd_predict(args) -> int:
         )
         logits = client.online(encoder.encode(x.T))
         predictions = np.argmax(ring.to_signed(logits), axis=0)
+        if args.trace_out:
+            client.tracer.save(args.trace_out)
+            print(f"wrote trace: {args.trace_out}")
     finally:
         chan.close()
     print(f"predictions: {predictions.tolist()}")
     if truth is not None:
         print(f"ground truth: {truth.tolist()}")
+    return 0
+
+
+def _demo_trace(args) -> dict:
+    """Run a small in-process secure prediction and return its client trace."""
+    from repro.core.protocol import secure_predict
+    from repro.crypto.group import MODP_TEST
+
+    model = mnist_mlp(seed=0, hidden=args.hidden)
+    scheme = _parse_scheme(args.scheme)
+    qmodel = quantize_model(model, scheme, Ring(args.ring))
+    rng = np.random.default_rng(0)
+    x = rng.random((args.batch, qmodel.layers[0].in_features))
+    print("running demo secure prediction to produce a trace...", file=sys.stderr)
+    report = secure_predict(qmodel, x, group=MODP_TEST, seed=0)
+    return report.client_trace
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from repro.perf import report as perf_report
+    from repro.perf.trace import load_trace
+
+    trace = _demo_trace(args) if args.demo else load_trace(args.trace)
+    if args.save_trace:
+        with open(args.save_trace, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote trace: {args.save_trace}", file=sys.stderr)
+    print(perf_report.render_report(trace))
+    if args.check:
+        failures = perf_report.check_conformance(trace)
+        if failures:
+            for failure in failures:
+                print(f"conformance FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("\nconformance: all modeled spans within tolerance")
     return 0
 
 
@@ -192,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--trace-out", help="write this party's trace JSON after the run")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("predict", help="run the client party over TCP")
@@ -204,7 +253,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--trace-out", help="write this party's trace JSON after the run")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser(
+        "report", help="measured-vs-predicted table from a protocol trace"
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--trace", help="trace JSON from --trace-out or Tracer.save()")
+    src.add_argument(
+        "--demo", action="store_true",
+        help="run a small in-process prediction and report its trace",
+    )
+    p.add_argument("--save-trace", help="also write the trace JSON here")
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless every modeled span matches the cost model",
+    )
+    p.add_argument("--scheme", default="4(2,2)", help="demo fragment scheme")
+    p.add_argument("--ring", type=int, default=32, choices=(16, 32, 64))
+    p.add_argument("--hidden", type=int, default=8)
+    p.add_argument("--batch", type=int, default=2)
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("cost", help="rank fragment schemes by Table-1 cost")
     p.add_argument("--eta", type=int, required=True)

@@ -19,7 +19,6 @@ additionally reveals the activation sign pattern — see
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.errors import ConfigError, ProtocolError
 from repro.gc.protocol import GcSessions
 from repro.net.channel import Channel
 from repro.net.runner import run_protocol
+from repro.perf.trace import Tracer
 from repro.nn.quantize import QuantizedModel
 from repro.nn.lowering import Im2colSpec, PoolSpec, lift_output, lower_shares
 from repro.quant.fragments import FragmentScheme
@@ -108,7 +108,13 @@ class ModelMeta:
 
 @dataclass
 class PhaseStats:
-    """Traffic and time attributable to one protocol phase."""
+    """Traffic and time attributable to one protocol phase.
+
+    Derived from the phase's tracer span: ``payload_bytes`` is the
+    span's inclusive sent+received payload, ``rounds`` its inclusive
+    direction-flip count (the :class:`~repro.net.channel.ChannelStats`
+    convention — pinned by ``tests/test_rounds_convention.py``).
+    """
 
     seconds: float
     payload_bytes: int
@@ -125,6 +131,7 @@ class _PartyBase:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if batch < 1:
             raise ConfigError("batch must be positive")
@@ -137,6 +144,11 @@ class _PartyBase:
         self.ring = Ring(meta.ring_bits)
         self.rng = make_rng(seed)
         self._seed = seed
+        self.tracer = tracer if tracer is not None else Tracer(
+            party="server" if chan.party == 0 else "client"
+        )
+        # Every byte this party moves is attributed to the innermost span.
+        chan.tracer = self.tracer
         self.offline_stats: PhaseStats | None = None
         self.online_stats: PhaseStats | None = None
 
@@ -152,20 +164,36 @@ class _PartyBase:
         )
 
     def _track_phase(self, label: str, fn):
-        before = self.chan.stats.snapshot()
-        start = time.perf_counter()
+        span = self.tracer.start_span(label)
         try:
             return fn()
         finally:
             # Recorded even when the phase dies mid-way (channel fault,
             # peer crash): error reports can then cite partial stats.
-            after = self.chan.stats.snapshot()
+            # end_span also closes any inner spans the failure left open.
+            self.tracer.end_span(span)
+            totals = span.totals()
             stats = PhaseStats(
-                seconds=time.perf_counter() - start,
-                payload_bytes=after.total_bytes - before.total_bytes,
-                rounds=after.rounds - before.rounds,
+                seconds=span.duration_s,
+                payload_bytes=totals["sent_bytes"] + totals["recv_bytes"],
+                rounds=totals["rounds"],
             )
             setattr(self, f"{label}_stats", stats)
+
+    def _triplet_span(self, idx: int, layer: LayerMeta, round_idx: int):
+        """Span for one layer's offline triplet generation, carrying the
+        public dimensions the conformance checker feeds the cost model."""
+        config = self._layer_config(layer)
+        return self.tracer.span(
+            f"layer{idx}/triplets",
+            m=config.m,
+            n=config.n,
+            o=config.o,
+            ring_bits=self.ring.bits,
+            mode=config.resolved_mode,
+            frag_n_values=[frag.n_values for frag in layer.scheme.fragments],
+            round=round_idx,
+        )
 
 
 class Abnn2Server(_PartyBase):
@@ -204,7 +232,8 @@ class Abnn2Server(_PartyBase):
                         if self._seed is None
                         else self._seed + 101 * idx + 10007 * round_idx,
                     )
-                    server.offline()
+                    with self._triplet_span(idx, self.meta.layers[idx], round_idx):
+                        server.offline()
                     matmuls.append(server)
                 self._pending.append(matmuls)
 
@@ -225,27 +254,42 @@ class Abnn2Server(_PartyBase):
         matmuls = self._pending.pop(0)
 
         def _run():
-            share0 = self.ring.reduce(self.chan.recv())  # <x>_0 from the client
+            with self.tracer.span("input-share"):
+                share0 = self.ring.reduce(self.chan.recv())  # <x>_0 from the client
             for idx, (layer, matmul) in enumerate(zip(self.model.layers, matmuls)):
-                operand = lower_shares(layer.conv, share0) if layer.conv else share0
-                y0 = matmul.online(operand)
-                y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
-                if layer.conv:
-                    y0 = lift_output(layer.conv, layer.shape[0], y0)
+                meta = self.meta.layers[idx]
+                with self.tracer.span(
+                    f"layer{idx}/matmul", m=meta.matmul_rows, n=meta.matmul_cols,
+                    o=self.batch * meta.batch_multiplier(),
+                ):
+                    operand = lower_shares(layer.conv, share0) if layer.conv else share0
+                    y0 = matmul.online(operand)
+                    y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+                    if layer.conv:
+                        y0 = lift_output(layer.conv, layer.shape[0], y0)
                 if idx < len(self.model.layers) - 1:
                     y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
-                    share0 = relu_layer_server(
-                        self.chan, y0, self._gc, self.ring, self.relu_variant
-                    )
+                    with self.tracer.span(
+                        f"layer{idx}/relu", variant=self.relu_variant,
+                        n_relus=meta.relu_features * self.batch,
+                        ring_bits=self.ring.bits,
+                    ):
+                        share0 = relu_layer_server(
+                            self.chan, y0, self._gc, self.ring, self.relu_variant
+                        )
                     if layer.pool:
-                        if layer.pool.kind == "avg":
-                            share0 = avgpool_share(self.ring, layer.pool, share0, party=0)
-                        else:
-                            share0 = maxpool_server(
-                                self.chan, layer.pool, share0, self._gc, self.ring
-                            )
+                        with self.tracer.span(f"layer{idx}/pool", kind=layer.pool.kind):
+                            if layer.pool.kind == "avg":
+                                share0 = avgpool_share(
+                                    self.ring, layer.pool, share0, party=0
+                                )
+                            else:
+                                share0 = maxpool_server(
+                                    self.chan, layer.pool, share0, self._gc, self.ring
+                                )
                 else:
-                    self.chan.send(y0)
+                    with self.tracer.span("logits-share"):
+                        self.chan.send(y0)
                     return y0
 
         return self._track_phase("online", _run)
@@ -292,7 +336,8 @@ class Abnn2Client(_PartyBase):
                         if self._seed is None
                         else self._seed + 101 * idx + 10007 * round_idx,
                     )
-                    client.offline()
+                    with self._triplet_span(idx, layer, round_idx):
+                        client.offline()
                     matmuls.append(client)
                     if idx < len(self.meta.layers) - 1:
                         # The ReLU output share z1 doubles as the next R —
@@ -350,37 +395,49 @@ class Abnn2Client(_PartyBase):
         def _run():
             # <x>_0 = x - r travels in flat form; each party lowers its
             # own share locally where a conv layer needs it.
-            self.chan.send(self.ring.sub(x, material["input_mask"]))
+            with self.tracer.span("input-share"):
+                self.chan.send(self.ring.sub(x, material["input_mask"]))
             logits = None
             for idx, (layer, matmul) in enumerate(
                 zip(self.meta.layers, material["matmuls"])
             ):
-                y1 = matmul.online()
-                if layer.conv:
-                    y1 = lift_output(layer.conv, layer.matmul_rows, y1)
+                with self.tracer.span(
+                    f"layer{idx}/matmul", m=layer.matmul_rows, n=layer.matmul_cols,
+                    o=self.batch * layer.batch_multiplier(),
+                ):
+                    y1 = matmul.online()
+                    if layer.conv:
+                        y1 = lift_output(layer.conv, layer.matmul_rows, y1)
                 if idx < len(self.meta.layers) - 1:
                     y1 = truncate_share(self.ring, y1, layer.truncate_bits, party=1)
-                    z1_relu = relu_layer_client(
-                        self.chan,
-                        y1,
-                        material["relu_shares"][idx],
-                        self._gc,
-                        self.ring,
-                        self.rng,
-                        self.relu_variant,
-                    )
-                    if layer.pool is not None and layer.pool.kind == "max":
-                        maxpool_client(
+                    with self.tracer.span(
+                        f"layer{idx}/relu", variant=self.relu_variant,
+                        n_relus=layer.relu_features * self.batch,
+                        ring_bits=self.ring.bits,
+                    ):
+                        z1_relu = relu_layer_client(
                             self.chan,
-                            layer.pool,
-                            z1_relu,
-                            material["pool_shares"][idx],
+                            y1,
+                            material["relu_shares"][idx],
                             self._gc,
                             self.ring,
                             self.rng,
+                            self.relu_variant,
                         )
+                    if layer.pool is not None and layer.pool.kind == "max":
+                        with self.tracer.span(f"layer{idx}/pool", kind="max"):
+                            maxpool_client(
+                                self.chan,
+                                layer.pool,
+                                z1_relu,
+                                material["pool_shares"][idx],
+                                self._gc,
+                                self.ring,
+                                self.rng,
+                            )
                 else:
-                    y0 = self.ring.reduce(self.chan.recv())
+                    with self.tracer.span("logits-share"):
+                        y0 = self.ring.reduce(self.chan.recv())
                     logits = self.ring.add(y0, y1)
             return logits
 
@@ -403,6 +460,9 @@ class PredictionReport:
     total_bytes: int
     rounds: int
     wall_time_s: float
+    #: exported trace documents (see :mod:`repro.perf.trace`), one per party
+    server_trace: dict | None = None
+    client_trace: dict | None = None
 
     @property
     def offline_bytes(self) -> int:
@@ -464,6 +524,8 @@ def _joint_predict(
         total_bytes=result.total_bytes,
         rounds=result.rounds,
         wall_time_s=result.wall_time_s,
+        server_trace=server.tracer.to_dict(),
+        client_trace=client.tracer.to_dict(),
     )
 
 

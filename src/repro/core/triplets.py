@@ -37,6 +37,7 @@ from repro.crypto.hash_ro import RandomOracle, default_ro
 from repro.crypto.kk13 import Kk13Receiver, Kk13Sender
 from repro.errors import ConfigError, ProtocolError
 from repro.net.channel import Channel
+from repro.perf.trace import channel_span
 from repro.quant.fragments import FragmentScheme
 from repro.utils.accum import segment_sum_u64
 from repro.utils.bits import pack_ring_words, packed_word_count, unpack_ring_words
@@ -126,37 +127,42 @@ def generate_triplets_server(
     u = ring.zeros((config.m, config.o))
     for n_values, k_list in config.radix_groups:
         group_seed = None if seed is None else seed + n_values
-        receiver = Kk13Receiver(
-            chan, n_values, group=config.group, ro=config.ro, seed=group_seed
-        )
-        choices = digits[:, :, k_list].reshape(-1)
-        total = choices.shape[0]
-        chunk = config.chunk_size(n_values)
-        for start in range(0, total, chunk):
-            stop = min(total, start + chunk)
-            batch = choices[start:stop]
-            i_idx, _, _ = _flat_coords(start, stop - start, config.n, len(k_list))
-            if mode == "multi":
-                got = receiver.recv_chosen(batch, width, domain=_TRIPLET_DOMAIN)
-                values = unpack_ring_words(got, ring.bits, config.o)
-            else:
-                count = stop - start
-                pad = receiver.pads(batch, width, domain=_TRIPLET_DOMAIN)
-                # Only the low l bits of the 64-bit pad are used.
-                pad_val = unpack_ring_words(pad, ring.bits, 1)[:, 0]
-                packed = chan.recv()
-                n_cipher = count * (n_values - 1)
-                if packed.shape != (packed_word_count(n_cipher, ring.bits),):
-                    raise ProtocolError(
-                        f"unexpected one-batch cipher shape {packed.shape}"
-                    )
-                cipher = unpack_ring_words(packed[None, :], ring.bits, n_cipher)
-                cipher = cipher.reshape(count, n_values - 1)
-                chosen = np.clip(batch - 1, 0, None)
-                opened = cipher[np.arange(count), chosen] ^ pad_val
-                values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
-            # bincount-based segment sum; np.add.at is a numpy slow path.
-            u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
+        with channel_span(
+            chan, f"radix{n_values}", n_values=n_values, fragments=len(k_list),
+            m=config.m, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
+        ):
+            receiver = Kk13Receiver(
+                chan, n_values, group=config.group, ro=config.ro, seed=group_seed
+            )
+            choices = digits[:, :, k_list].reshape(-1)
+            total = choices.shape[0]
+            chunk = config.chunk_size(n_values)
+            for start in range(0, total, chunk):
+                stop = min(total, start + chunk)
+                batch = choices[start:stop]
+                i_idx, _, _ = _flat_coords(start, stop - start, config.n, len(k_list))
+                if mode == "multi":
+                    got = receiver.recv_chosen(batch, width, domain=_TRIPLET_DOMAIN)
+                    values = unpack_ring_words(got, ring.bits, config.o)
+                else:
+                    count = stop - start
+                    pad = receiver.pads(batch, width, domain=_TRIPLET_DOMAIN)
+                    # Only the low l bits of the 64-bit pad are used.
+                    pad_val = unpack_ring_words(pad, ring.bits, 1)[:, 0]
+                    with channel_span(chan, "ot-transfer", m=count):
+                        packed = chan.recv()
+                    n_cipher = count * (n_values - 1)
+                    if packed.shape != (packed_word_count(n_cipher, ring.bits),):
+                        raise ProtocolError(
+                            f"unexpected one-batch cipher shape {packed.shape}"
+                        )
+                    cipher = unpack_ring_words(packed[None, :], ring.bits, n_cipher)
+                    cipher = cipher.reshape(count, n_values - 1)
+                    chosen = np.clip(batch - 1, 0, None)
+                    opened = cipher[np.arange(count), chosen] ^ pad_val
+                    values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
+                # bincount-based segment sum; np.add.at is a numpy slow path.
+                u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
     return ring.reduce(u)
 
 
@@ -180,36 +186,41 @@ def generate_triplets_client(
     v = ring.zeros((config.m, config.o))
     for n_values, k_list in config.radix_groups:
         group_seed = None if seed is None else seed + n_values
-        sender = Kk13Sender(
-            chan, n_values, group=config.group, ro=config.ro, seed=group_seed
-        )
-        # Per-digit signed contributions for each fragment in this group.
-        value_table = ring.reduce(
-            np.stack([config.scheme.values(k) for k in k_list])
-        )  # (|K|, N)
-        total = config.m * config.n * len(k_list)
-        chunk = config.chunk_size(n_values)
-        for start in range(0, total, chunk):
-            stop = min(total, start + chunk)
-            count = stop - start
-            i_idx, j_idx, k_pos = _flat_coords(start, count, config.n, len(k_list))
-            vals = value_table[k_pos]  # (count, N)
-            r_rows = r[j_idx]  # (count, o)
-            products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
-            if mode == "multi":
-                s = ring.sample(rng, (count, config.o))
-                messages = ring.sub(products, s[:, None, :])
-                sender.send_chosen(
-                    pack_ring_words(messages, ring.bits), domain=_TRIPLET_DOMAIN
-                )
-            else:
-                width = packed_word_count(1, ring.bits)
-                pads = sender.pads(count, width, domain=_TRIPLET_DOMAIN)
-                # The low-l-bit pads, slot 0's doubling as the share s_i.
-                pad_val = unpack_ring_words(pads, ring.bits, 1)[:, :, 0]  # (count, N)
-                s = pad_val[:, 0:1]
-                messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
-                cipher = messages ^ pad_val[:, 1:]
-                chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
-            v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
+        with channel_span(
+            chan, f"radix{n_values}", n_values=n_values, fragments=len(k_list),
+            m=config.m, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
+        ):
+            sender = Kk13Sender(
+                chan, n_values, group=config.group, ro=config.ro, seed=group_seed
+            )
+            # Per-digit signed contributions for each fragment in this group.
+            value_table = ring.reduce(
+                np.stack([config.scheme.values(k) for k in k_list])
+            )  # (|K|, N)
+            total = config.m * config.n * len(k_list)
+            chunk = config.chunk_size(n_values)
+            for start in range(0, total, chunk):
+                stop = min(total, start + chunk)
+                count = stop - start
+                i_idx, j_idx, k_pos = _flat_coords(start, count, config.n, len(k_list))
+                vals = value_table[k_pos]  # (count, N)
+                r_rows = r[j_idx]  # (count, o)
+                products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
+                if mode == "multi":
+                    s = ring.sample(rng, (count, config.o))
+                    messages = ring.sub(products, s[:, None, :])
+                    sender.send_chosen(
+                        pack_ring_words(messages, ring.bits), domain=_TRIPLET_DOMAIN
+                    )
+                else:
+                    width = packed_word_count(1, ring.bits)
+                    pads = sender.pads(count, width, domain=_TRIPLET_DOMAIN)
+                    # The low-l-bit pads, slot 0's doubling as the share s_i.
+                    pad_val = unpack_ring_words(pads, ring.bits, 1)[:, :, 0]  # (count, N)
+                    s = pad_val[:, 0:1]
+                    messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
+                    cipher = messages ^ pad_val[:, 1:]
+                    with channel_span(chan, "ot-transfer", m=count):
+                        chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
+                v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
     return ring.reduce(v)

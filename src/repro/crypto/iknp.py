@@ -34,6 +34,7 @@ from repro.crypto.hash_ro import RandomOracle, default_ro
 from repro.crypto.prg import BatchPrg
 from repro.errors import CryptoError, ProtocolError
 from repro.net.channel import Channel
+from repro.perf.trace import channel_span
 from repro.utils.bits import (
     concat_packed_rows,
     pack_bits_to_words,
@@ -104,9 +105,13 @@ class OtExtSender:
         if self._s_bits is not None:
             return
         s = self._rng.integers(0, 2, size=self.kappa, dtype=np.uint8)
-        keys = baseot.random_receive(
-            self.chan, s.tolist(), self.group, randbelow=self._randbelow
-        )
+        with channel_span(
+            self.chan, "base-ot", kind="iknp", count=self.kappa,
+            element_bytes=self.group.element_bytes,
+        ):
+            keys = baseot.random_receive(
+                self.chan, s.tolist(), self.group, randbelow=self._randbelow
+            )
         self._s_bits = s
         self._prg = BatchPrg(keys)
         self._s_words = pack_bits_to_words(s)
@@ -126,10 +131,11 @@ class OtExtSender:
         expansion of the per-column loop never exists.
         """
         self._ensure_setup()
-        u_blob = _checked_u_blob(self.chan.recv(), self.kappa, m)
-        u_cols = split_packed_rows(u_blob, self.kappa, m)
-        q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
-        return transpose_packed(q_cols)[:m]
+        with channel_span(self.chan, "extension", m=m):
+            u_blob = _checked_u_blob(self.chan.recv(), self.kappa, m)
+            u_cols = split_packed_rows(u_blob, self.kappa, m)
+            q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
+            return transpose_packed(q_cols)[:m]
 
     # ------------------------------------------------------------------ #
     def send_chosen(self, messages: np.ndarray, domain: int = 1) -> None:
@@ -143,12 +149,13 @@ class OtExtSender:
             raise CryptoError(f"expected (m, 2, W) messages, got {msgs.shape}")
         m, _, width = msgs.shape
         q = self._extend(m)
-        rows0 = _rows_with_index(q, self._ot_index)
-        rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
-        pad0 = self.ro.mask(rows0, width, domain)
-        pad1 = self.ro.mask(rows1, width, domain)
-        cipher = np.stack([msgs[:, 0] ^ pad0, msgs[:, 1] ^ pad1], axis=1)
-        self.chan.send(cipher)
+        with channel_span(self.chan, "ot-transfer", m=m, width=width):
+            rows0 = _rows_with_index(q, self._ot_index)
+            rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
+            pad0 = self.ro.mask(rows0, width, domain)
+            pad1 = self.ro.mask(rows1, width, domain)
+            cipher = np.stack([msgs[:, 0] ^ pad0, msgs[:, 1] ^ pad1], axis=1)
+            self.chan.send(cipher)
         self._ot_index += m
 
     def send_correlated(self, deltas: np.ndarray, ring: Ring, domain: int = 2) -> np.ndarray:
@@ -166,14 +173,15 @@ class OtExtSender:
             raise CryptoError(f"expected (m,) or (m, k) deltas, got shape {d.shape}")
         m, lanes = d.shape
         q = self._extend(m)
-        rows0 = _rows_with_index(q, self._ot_index)
-        rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
-        x = ring.reduce(self.ro.mask(rows0, lanes, domain))
-        x_s = ring.reduce(self.ro.mask(rows1, lanes, domain))
-        correction = ring.add(ring.sub(ring.reduce(d), x_s), x)
-        # Bit-pack to l bits per element: SecureML's truncated-message
-        # optimization depends on sub-64-bit corrections costing less.
-        self.chan.send(pack_ring_words(correction.reshape(1, -1), ring.bits)[0])
+        with channel_span(self.chan, "ot-transfer", m=m, lanes=lanes):
+            rows0 = _rows_with_index(q, self._ot_index)
+            rows1 = _rows_with_index(q ^ self._s_words[None, :], self._ot_index)
+            x = ring.reduce(self.ro.mask(rows0, lanes, domain))
+            x_s = ring.reduce(self.ro.mask(rows1, lanes, domain))
+            correction = ring.add(ring.sub(ring.reduce(d), x_s), x)
+            # Bit-pack to l bits per element: SecureML's truncated-message
+            # optimization depends on sub-64-bit corrections costing less.
+            self.chan.send(pack_ring_words(correction.reshape(1, -1), ring.bits)[0])
         self._ot_index += m
         return x[:, 0] if squeeze else x
 
@@ -206,7 +214,13 @@ class OtExtReceiver:
     def _ensure_setup(self) -> None:
         if self._prg0 is not None:
             return
-        key_pairs = baseot.random_send(self.chan, self.kappa, self.group, randbelow=self._randbelow)
+        with channel_span(
+            self.chan, "base-ot", kind="iknp", count=self.kappa,
+            element_bytes=self.group.element_bytes,
+        ):
+            key_pairs = baseot.random_send(
+                self.chan, self.kappa, self.group, randbelow=self._randbelow
+            )
         self._prg0 = BatchPrg([k0 for k0, _ in key_pairs])
         self._prg1 = BatchPrg([k1 for _, k1 in key_pairs])
 
@@ -224,22 +238,24 @@ class OtExtReceiver:
         if c.ndim != 1 or not np.isin(c, (0, 1)).all():
             raise CryptoError("choices must be a 1-D bit vector")
         m = c.shape[0]
-        c_words = pack_bits_to_words(c)
-        t0 = self._prg0.packed_bits(m)
-        t1 = self._prg1.packed_bits(m)
-        self.chan.send(concat_packed_rows(t0 ^ t1 ^ c_words[None, :], m))
-        return transpose_packed(t0)[:m]
+        with channel_span(self.chan, "extension", m=m):
+            c_words = pack_bits_to_words(c)
+            t0 = self._prg0.packed_bits(m)
+            t1 = self._prg1.packed_bits(m)
+            self.chan.send(concat_packed_rows(t0 ^ t1 ^ c_words[None, :], m))
+            return transpose_packed(t0)[:m]
 
     # ------------------------------------------------------------------ #
     def recv_chosen(self, choices, width: int, domain: int = 1) -> np.ndarray:
         """Receive the chosen message per OT; returns ``(m, W)`` words."""
         c = np.asarray(choices, dtype=np.uint8)
         t = self._extend(c)
-        cipher = self.chan.recv()
-        if cipher.shape != (c.shape[0], 2, width):
-            raise CryptoError(f"unexpected ciphertext shape {cipher.shape}")
-        pad = self.ro.mask(_rows_with_index(t, self._ot_index), width, domain)
-        picked = cipher[np.arange(c.shape[0]), c.astype(np.int64)]
+        with channel_span(self.chan, "ot-transfer", m=int(c.shape[0]), width=width):
+            cipher = self.chan.recv()
+            if cipher.shape != (c.shape[0], 2, width):
+                raise CryptoError(f"unexpected ciphertext shape {cipher.shape}")
+            pad = self.ro.mask(_rows_with_index(t, self._ot_index), width, domain)
+            picked = cipher[np.arange(c.shape[0]), c.astype(np.int64)]
         self._ot_index += c.shape[0]
         return picked ^ pad
 
@@ -256,9 +272,10 @@ class OtExtReceiver:
         squeeze = lanes is None
         lanes = 1 if squeeze else lanes
         t = self._extend(c)
-        h_t = ring.reduce(self.ro.mask(_rows_with_index(t, self._ot_index), lanes, domain))
-        n_elems = c.shape[0] * lanes
-        packed = self.chan.recv()
+        with channel_span(self.chan, "ot-transfer", m=int(c.shape[0]), lanes=lanes):
+            h_t = ring.reduce(self.ro.mask(_rows_with_index(t, self._ot_index), lanes, domain))
+            n_elems = c.shape[0] * lanes
+            packed = self.chan.recv()
         expected_words = packed_word_count(n_elems, ring.bits)
         if packed.shape != (expected_words,):
             raise CryptoError(f"unexpected correction shape {packed.shape}")

@@ -26,6 +26,7 @@ from repro.crypto.iknp import _checked_u_blob, _rows_with_index
 from repro.crypto.prg import BatchPrg
 from repro.errors import CryptoError
 from repro.net.channel import Channel
+from repro.perf.trace import channel_span
 from repro.utils.bits import (
     concat_packed_rows,
     pack_bits_to_words,
@@ -72,7 +73,13 @@ class Kk13Sender:
         if self._s_bits is not None:
             return
         s = self._rng.integers(0, 2, size=CODE_WIDTH, dtype=np.uint8)
-        keys = baseot.random_receive(self.chan, s.tolist(), self.group, randbelow=self._randbelow)
+        with channel_span(
+            self.chan, "base-ot", kind="kk13", count=CODE_WIDTH,
+            element_bytes=self.group.element_bytes,
+        ):
+            keys = baseot.random_receive(
+                self.chan, s.tolist(), self.group, randbelow=self._randbelow
+            )
         self._s_bits = s
         self._prg = BatchPrg(keys)
         self._s_words = pack_bits_to_words(s)
@@ -88,10 +95,11 @@ class Kk13Sender:
         packed 64x64-block transpose — no ``(256, m)`` uint8 expansion.
         """
         self._ensure_setup()
-        u_blob = _checked_u_blob(self.chan.recv(), CODE_WIDTH, m)
-        u_cols = split_packed_rows(u_blob, CODE_WIDTH, m)
-        q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
-        return transpose_packed(q_cols)[:m]
+        with channel_span(self.chan, "extension", m=m):
+            u_blob = _checked_u_blob(self.chan.recv(), CODE_WIDTH, m)
+            u_cols = split_packed_rows(u_blob, CODE_WIDTH, m)
+            q_cols = self._prg.packed_bits(m) ^ (u_cols & self._s_colmask)
+            return transpose_packed(q_cols)[:m]
 
     # ------------------------------------------------------------------ #
     def pads(self, m: int, width: int, domain: int = 3) -> np.ndarray:
@@ -119,7 +127,10 @@ class Kk13Sender:
         if msgs.ndim != 3 or msgs.shape[1] != self.n_values:
             raise CryptoError(f"expected (m, {self.n_values}, W) messages, got {msgs.shape}")
         pads = self.pads(msgs.shape[0], msgs.shape[2], domain)
-        self.chan.send(msgs ^ pads)
+        with channel_span(
+            self.chan, "ot-transfer", m=int(msgs.shape[0]), width=int(msgs.shape[2])
+        ):
+            self.chan.send(msgs ^ pads)
 
 
 class Kk13Receiver:
@@ -156,9 +167,13 @@ class Kk13Receiver:
     def _ensure_setup(self) -> None:
         if self._prg0 is not None:
             return
-        key_pairs = baseot.random_send(
-            self.chan, CODE_WIDTH, self.group, randbelow=self._randbelow
-        )
+        with channel_span(
+            self.chan, "base-ot", kind="kk13", count=CODE_WIDTH,
+            element_bytes=self.group.element_bytes,
+        ):
+            key_pairs = baseot.random_send(
+                self.chan, CODE_WIDTH, self.group, randbelow=self._randbelow
+            )
         self._prg0 = BatchPrg([k0 for k0, _ in key_pairs])
         self._prg1 = BatchPrg([k1 for _, k1 in key_pairs])
 
@@ -176,16 +191,17 @@ class Kk13Receiver:
         if b.ndim != 1 or (b < 0).any() or (b >= self.n_values).any():
             raise CryptoError(f"choices must lie in [0, {self.n_values})")
         m = b.shape[0]
-        m_words = (m + 63) // 64
-        code_cols = np.zeros((CODE_WIDTH, m_words), dtype=_U64)
-        for v, col_idx in enumerate(self._code_col_idx):
-            code_cols[col_idx] ^= pack_bits_to_words((b == v).view(np.uint8))[None, :]
-        t0 = self._prg0.packed_bits(m)
-        t1 = self._prg1.packed_bits(m)
-        u = t0 ^ t1
-        u ^= code_cols
-        self.chan.send(concat_packed_rows(u, m))
-        return transpose_packed(t0)[:m]
+        with channel_span(self.chan, "extension", m=m):
+            m_words = (m + 63) // 64
+            code_cols = np.zeros((CODE_WIDTH, m_words), dtype=_U64)
+            for v, col_idx in enumerate(self._code_col_idx):
+                code_cols[col_idx] ^= pack_bits_to_words((b == v).view(np.uint8))[None, :]
+            t0 = self._prg0.packed_bits(m)
+            t1 = self._prg1.packed_bits(m)
+            u = t0 ^ t1
+            u ^= code_cols
+            self.chan.send(concat_packed_rows(u, m))
+            return transpose_packed(t0)[:m]
 
     # ------------------------------------------------------------------ #
     def pads(self, choices, width: int, domain: int = 3) -> np.ndarray:
@@ -199,7 +215,8 @@ class Kk13Receiver:
         """Chosen-message mode: recover message ``b_i`` per OT, ``(m, W)``."""
         b = np.asarray(choices, dtype=np.int64)
         pad = self.pads(b, width, domain)
-        cipher = self.chan.recv()
+        with channel_span(self.chan, "ot-transfer", m=int(b.shape[0]), width=width):
+            cipher = self.chan.recv()
         if cipher.shape != (b.shape[0], self.n_values, width):
             raise CryptoError(f"unexpected ciphertext shape {cipher.shape}")
         return cipher[np.arange(b.shape[0]), b] ^ pad

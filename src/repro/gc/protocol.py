@@ -29,6 +29,7 @@ from repro.gc.circuit import Circuit
 from repro.gc.evaluate import decode_outputs, evaluate
 from repro.gc.garble import LABEL_WORDS, garble
 from repro.net.channel import Channel
+from repro.perf.trace import channel_span
 
 _U64 = np.uint64
 _OT_DOMAIN_GC_INPUTS = 11
@@ -77,18 +78,20 @@ def run_garbler(
 
     ``garbler_bits`` has shape ``(n_garbler_inputs, n_inst)``.
     """
-    gc = garble(circuit, n_inst, rng, ro)
-    own_labels = gc.encode(circuit.garbler_inputs, garbler_bits)
-    chan.send((gc.tables, own_labels, gc.output_decode_bits()))
+    with channel_span(chan, "garble", n_inst=n_inst, and_gates=circuit.and_count):
+        gc = garble(circuit, n_inst, rng, ro)
+        own_labels = gc.encode(circuit.garbler_inputs, garbler_bits)
+    with channel_span(chan, "gc-transfer", n_inst=n_inst):
+        chan.send((gc.tables, own_labels, gc.output_decode_bits()))
 
-    n_eval_bits = len(circuit.evaluator_inputs)
-    if n_eval_bits:
-        # Label pairs for the evaluator's inputs, wire-major then instance.
-        base = gc.label0[circuit.evaluator_inputs].reshape(-1, LABEL_WORDS)
-        pairs = np.empty((base.shape[0], 2, LABEL_WORDS), dtype=_U64)
-        pairs[:, 0] = base
-        pairs[:, 1] = base ^ gc.offset
-        sessions.ot.send_chosen(pairs, domain=_OT_DOMAIN_GC_INPUTS)
+        n_eval_bits = len(circuit.evaluator_inputs)
+        if n_eval_bits:
+            # Label pairs for the evaluator's inputs, wire-major then instance.
+            base = gc.label0[circuit.evaluator_inputs].reshape(-1, LABEL_WORDS)
+            pairs = np.empty((base.shape[0], 2, LABEL_WORDS), dtype=_U64)
+            pairs[:, 0] = base
+            pairs[:, 1] = base ^ gc.offset
+            sessions.ot.send_chosen(pairs, domain=_OT_DOMAIN_GC_INPUTS)
 
 
 def run_evaluator(
@@ -103,20 +106,21 @@ def run_evaluator(
 
     ``evaluator_bits`` has shape ``(n_evaluator_inputs, n_inst)``.
     """
-    tables, garbler_labels, decode_bits = chan.recv()
-
     bits = np.asarray(evaluator_bits, dtype=np.uint8)
     n_eval_bits = len(circuit.evaluator_inputs)
     if bits.shape != (n_eval_bits, n_inst):
         raise ProtocolError(
             f"expected evaluator bits of shape {(n_eval_bits, n_inst)}, got {bits.shape}"
         )
-    if n_eval_bits:
-        my_labels = sessions.ot.recv_chosen(
-            bits.reshape(-1), LABEL_WORDS, domain=_OT_DOMAIN_GC_INPUTS
-        ).reshape(n_eval_bits, n_inst, LABEL_WORDS)
-    else:
-        my_labels = np.zeros((0, n_inst, LABEL_WORDS), dtype=_U64)
+    with channel_span(chan, "gc-transfer", n_inst=n_inst):
+        tables, garbler_labels, decode_bits = chan.recv()
+        if n_eval_bits:
+            my_labels = sessions.ot.recv_chosen(
+                bits.reshape(-1), LABEL_WORDS, domain=_OT_DOMAIN_GC_INPUTS
+            ).reshape(n_eval_bits, n_inst, LABEL_WORDS)
+        else:
+            my_labels = np.zeros((0, n_inst, LABEL_WORDS), dtype=_U64)
 
-    out_labels = evaluate(circuit, tables, garbler_labels, my_labels, ro)
-    return decode_outputs(out_labels, decode_bits)
+    with channel_span(chan, "evaluate", n_inst=n_inst):
+        out_labels = evaluate(circuit, tables, garbler_labels, my_labels, ro)
+        return decode_outputs(out_labels, decode_bits)

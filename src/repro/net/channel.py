@@ -103,6 +103,9 @@ class Channel:
         self._outbox = outbox
         self._inbox = inbox
         self.stats = stats
+        #: optional per-party :class:`repro.perf.trace.Tracer`; when set,
+        #: every successful send/recv is attributed to its innermost span.
+        self.tracer = None
         self.timeout_s = timeout_s
         self._closed = False
         self._send_seq = 0
@@ -114,10 +117,13 @@ class Channel:
         if self._closed:
             raise ChannelError("send on closed channel")
         data = serialization.encode(obj)
+        payload = serialization.payload_nbytes(obj)
         self._outbox.put((self._send_seq, data, zlib.crc32(data)))
         self._send_seq += 1
         # Only after the frame is actually with the peer does it count.
-        self.stats.record_send(self.party, serialization.payload_nbytes(obj), len(data))
+        self.stats.record_send(self.party, payload, len(data))
+        if self.tracer is not None:
+            self.tracer.record_io("send", payload)
 
     def recv(self) -> Any:
         """Block until the peer's next message arrives and decode it."""
@@ -146,7 +152,10 @@ class Channel:
             raise ChannelError(
                 f"frame CRC mismatch on a {len(data)}-byte message (corrupted in transit)"
             )
-        return serialization.decode(data)
+        obj = serialization.decode(data)
+        if self.tracer is not None:
+            self.tracer.record_io("recv", serialization.payload_nbytes(obj))
+        return obj
 
     def exchange(self, obj: Any) -> Any:
         """Send then receive — the common symmetric protocol step."""

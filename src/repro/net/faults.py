@@ -138,6 +138,16 @@ class FaultyChannel:
     def stats(self):
         return self._inner.stats
 
+    @property
+    def tracer(self):
+        return self._inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        # The inner endpoint performs the actual IO, so the tracer must
+        # live there: only delivered traffic is attributed to spans.
+        self._inner.tracer = value
+
     def recv(self):
         return self._inner.recv()
 

@@ -49,7 +49,14 @@ class NetworkModel:
         return nbytes / self.bandwidth_bytes_per_s
 
     def latency_time_s(self, rounds: int) -> float:
-        """Propagation delay for ``rounds`` direction flips."""
+        """Propagation delay for ``rounds`` direction flips.
+
+        ``rounds`` follows the repo-wide convention (pinned by
+        ``tests/test_rounds_convention.py``): a round begins whenever the
+        sending party changes, and the first message opens round 1.
+        ``ChannelStats``, ``TcpChannel``, and ``repro.perf.trace.Tracer``
+        all count this way, so their figures can be fed here directly.
+        """
         return rounds * self.rtt_s
 
     def estimate_s(

@@ -78,6 +78,9 @@ class TcpChannel:
         self.party = party
         self.session_id = session_id
         self.stats = ChannelStats()
+        #: optional per-party :class:`repro.perf.trace.Tracer`; when set,
+        #: every successful send/recv is attributed to its innermost span.
+        self.tracer = None
         self._closed = False
         self._peer_closed = False
         self._send_seq = 0
@@ -123,6 +126,7 @@ class TcpChannel:
         if self._closed:
             raise ChannelError("send on closed channel")
         data = serialization.encode(obj)
+        payload = serialization.payload_nbytes(obj)
         frame = self._frame(_FRAME_DATA, self._send_seq, data)
         try:
             self._sock.sendall(frame)
@@ -132,9 +136,9 @@ class TcpChannel:
             raise ChannelError(f"socket send failed: {exc}") from exc
         self._send_seq += 1
         # Only a completed write counts as traffic.
-        self.stats.record_send(
-            self.party, serialization.payload_nbytes(obj), len(frame)
-        )
+        self.stats.record_send(self.party, payload, len(frame))
+        if self.tracer is not None:
+            self.tracer.record_io("send", payload)
 
     def recv(self):
         if self._closed:
@@ -164,12 +168,11 @@ class TcpChannel:
             )
         self._recv_seq += 1
         obj = serialization.decode(data)
+        payload = serialization.payload_nbytes(obj)
         # Attribute the peer's traffic so both sides report totals.
-        self.stats.record_send(
-            1 - self.party,
-            serialization.payload_nbytes(obj),
-            _HEAD_SIZE + length + _CRC_SIZE,
-        )
+        self.stats.record_send(1 - self.party, payload, _HEAD_SIZE + length + _CRC_SIZE)
+        if self.tracer is not None:
+            self.tracer.record_io("recv", payload)
         return obj
 
     def exchange(self, obj):

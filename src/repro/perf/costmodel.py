@@ -44,6 +44,35 @@ def abnn2_ot_count(scheme: FragmentScheme, m: int, n: int) -> int:
     return scheme.gamma * m * n
 
 
+def abnn2_comm_bits_radices(
+    radices,
+    m: int,
+    n: int,
+    o: int,
+    ring_bits: int,
+    mode: str = "auto",
+    kappa: int = KAPPA,
+) -> int:
+    """Table 1 closed form from the raw fragment radices ``[N_1, ..]``.
+
+    The per-fragment form the trace conformance checker uses: traces
+    carry ``frag_n_values`` (one N per fragment) rather than a
+    :class:`FragmentScheme` object.
+    """
+    if mode == "auto":
+        mode = "one" if o == 1 else "multi"
+    if mode not in ("one", "multi"):
+        raise ConfigError(f"unknown mode {mode!r}")
+    total = 0
+    for n_values in radices:
+        if mode == "multi":
+            per_ot = o * ring_bits * n_values + 2 * kappa
+        else:
+            per_ot = ring_bits * (n_values - 1) + 2 * kappa
+        total += m * n * per_ot
+    return total
+
+
 def abnn2_comm_bits(
     scheme: FragmentScheme,
     m: int,
@@ -54,19 +83,9 @@ def abnn2_comm_bits(
     kappa: int = KAPPA,
 ) -> int:
     """Predicted offline communication of the ABNN2 matmul protocol."""
-    if mode == "auto":
-        mode = "one" if o == 1 else "multi"
-    if mode not in ("one", "multi"):
-        raise ConfigError(f"unknown mode {mode!r}")
-    total = 0
-    for frag in scheme.fragments:
-        n_values = frag.n_values
-        if mode == "multi":
-            per_ot = o * ring_bits * n_values + 2 * kappa
-        else:
-            per_ot = ring_bits * (n_values - 1) + 2 * kappa
-        total += m * n * per_ot
-    return total
+    return abnn2_comm_bits_radices(
+        [frag.n_values for frag in scheme.fragments], m, n, o, ring_bits, mode, kappa
+    )
 
 
 def network_offline_comm_bits(
@@ -103,6 +122,21 @@ def gc_relu_comm_bits(ring_bits: int, n_relus: int, kappa: int = KAPPA) -> int:
         + ring_bits  # decode bits
     )
     return n_relus * per_instance
+
+
+def gc_relu_wire_bits(ring_bits: int, n_relus: int, kappa: int = KAPPA) -> int:
+    """Exact wire bytes (in bits) of the oblivious GC ReLU, base OTs excluded.
+
+    Identical to :func:`gc_relu_comm_bits` except for one documented
+    constant delta: the implementation ships output decode bits as one
+    uint8 per bit (``l`` bytes per instance) while the model counts
+    ``l`` bits, i.e. ``+7l`` bits per instance.  Every other term is
+    byte-exact on the wire: half-gate tables are two 128-bit ciphertexts
+    per AND, labels are 128 bits, the IKNP U column is ``kappa`` bits
+    per OT and the chosen-message ciphertext ``2 kappa``.  The
+    conformance suite asserts *equality* against this form.
+    """
+    return gc_relu_comm_bits(ring_bits, n_relus, kappa) + 7 * ring_bits * n_relus
 
 
 # --------------------------------------------------------------------- #

@@ -74,6 +74,34 @@ class TestTrainMeta:
 
 
 @pytest.mark.slow
+class TestReport:
+    def test_demo_report_checks_and_saves_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "report", "--demo", "--save-trace", str(trace_path), "--check",
+                "--hidden", "6", "--batch", "1", "--scheme", "ternary",
+            ]
+        )
+        assert code == 0
+        assert trace_path.exists()
+        out = capsys.readouterr().out
+        assert "measured vs predicted" in out
+        assert "conformance: all modeled spans within tolerance" in out
+        assert "FAIL" not in out
+
+        # the saved trace re-renders identically through --trace
+        assert main(["report", "--trace", str(trace_path), "--check"]) == 0
+        out2 = capsys.readouterr().out
+        assert "measured vs predicted" in out2
+
+    def test_report_rejects_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "abnn2-trace/999"}')
+        assert main(["report", "--trace", str(bad)]) == 1
+        assert "schema" in capsys.readouterr().err
+
+
 class TestServePredict:
     def test_tcp_roundtrip_subprocesses(self, tmp_path):
         """Full deployment: two OS processes over a real socket."""

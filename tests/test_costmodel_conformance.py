@@ -1,0 +1,253 @@
+"""Traced protocol runs vs the analytic cost model (Table 1 conformance).
+
+Every traced run here attaches a :class:`repro.perf.trace.Tracer` to the
+channel, wraps the protocol in the span taxonomy that
+:func:`repro.perf.report.conformance_rows` consumes, and asserts that
+the measured wire bytes land inside the *derived* tolerance band
+documented in ``repro/perf/report.py``:
+
+* multi-batch triplets: byte-exact at ``predicted + word-padding slack``
+  (the slack is exactly computable, so the band has zero width);
+* one-batch triplets: within one 64-bit word per transmitted chunk;
+* oblivious GC ReLU: byte-exact against ``gc_relu_wire_bits``.
+
+Base-OT setup traffic is isolated in ``base-ot`` spans by the OT engines
+and subtracted by the checker before comparing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.relu import relu_layer_client, relu_layer_server
+from repro.core.triplets import (
+    TripletConfig,
+    generate_triplets_client,
+    generate_triplets_server,
+)
+from repro.gc.protocol import GcSessions
+from repro.net import run_protocol
+from repro.perf.costmodel import abnn2_comm_bits_radices, gc_relu_wire_bits
+from repro.perf.report import check_conformance, conformance_rows, triplet_slack_bits
+from repro.perf.trace import Tracer
+from repro.quant.fragments import TABLE2_SCHEMES
+from repro.utils.ring import Ring
+
+
+def _random_weights(scheme, shape, rng):
+    lo, hi = scheme.weight_range
+    return rng.integers(lo, hi + 1, size=shape)
+
+
+def _traced_triplets(scheme, m, n, o, ring_bits, group, rng, mode="auto"):
+    """Run triplet generation with both parties traced.
+
+    Returns ``(protocol_result, traces)`` where ``traces`` maps party
+    name to the exported trace document.
+    """
+    ring = Ring(ring_bits)
+    w = _random_weights(scheme, (m, n), rng)
+    r = ring.sample(rng, (n, o))
+    config = TripletConfig(
+        ring=ring, scheme=scheme, m=m, n=n, o=o, mode=mode, group=group
+    )
+    attrs = dict(
+        m=m,
+        n=n,
+        o=o,
+        ring_bits=ring_bits,
+        mode=config.resolved_mode,
+        frag_n_values=[frag.n_values for frag in scheme.fragments],
+    )
+    traces = {}
+
+    def server_fn(chan):
+        tracer = Tracer("server")
+        chan.tracer = tracer
+        with tracer.span("offline/layer0/triplets", **attrs):
+            u = generate_triplets_server(chan, w, config, seed=3)
+        traces["server"] = tracer.to_dict()
+        return u
+
+    def client_fn(chan):
+        tracer = Tracer("client")
+        chan.tracer = tracer
+        with tracer.span("offline/layer0/triplets", **attrs):
+            v = generate_triplets_client(
+                chan, r, config, np.random.default_rng(4), seed=5
+            )
+        traces["client"] = tracer.to_dict()
+        return v
+
+    result = run_protocol(server_fn, client_fn)
+    expected = ring.matmul(ring.reduce(w), r)
+    assert (ring.add(result.server, result.client) == expected).all()
+    return result, traces
+
+
+def _assert_conformant(result, traces, *, expect_exact):
+    """Both parties' rows must be in tolerance and byte-identical views."""
+    for party, trace in traces.items():
+        rows = [row for row in conformance_rows(trace) if row.kind == "triplets"]
+        assert len(rows) == 1, f"{party}: expected one triplets row, got {rows}"
+        row = rows[0]
+        assert row.path == "offline/layer0/triplets"
+        assert row.ok is True, (
+            f"{party}: core {row.core_bits} bits vs predicted {row.predicted_bits} "
+            f"+ slack [{row.slack_min_bits}, {row.slack_max_bits}] ({row.detail})"
+        )
+        if expect_exact:
+            assert row.slack_min_bits == row.slack_max_bits
+            assert row.core_bits == row.predicted_bits + row.slack_min_bits
+        assert check_conformance(trace) == []
+        # Tracer totals must agree with the shared channel accounting:
+        # both directions' payload bytes are visible to each party.
+        totals = trace["root"]["total"]
+        assert totals["sent_bytes"] + totals["recv_bytes"] == result.stats.total_bytes
+        assert totals["rounds"] == result.stats.rounds
+
+
+TRIPLET_GRID = [
+    # scheme, m, n, o, ring_bits — exercises uniform and mixed radices,
+    # one- and multi-batch, odd o (padding slack) and non-64-divisible l.
+    ("binary", 4, 6, 4, 32),
+    ("binary", 4, 6, 1, 32),
+    ("ternary", 4, 6, 4, 32),
+    ("ternary", 4, 6, 1, 32),
+    ("4(2,2)", 4, 6, 4, 32),
+    ("4(2,2)", 5, 3, 3, 17),
+    ("4(2,2)", 5, 3, 3, 64),
+    ("4(2,2)", 4, 6, 1, 32),
+    ("8(3,3,2)", 4, 6, 4, 32),
+    ("8(3,3,2)", 3, 5, 1, 32),
+    ("3(2,1)", 4, 6, 3, 32),
+    ("3(2,1)", 4, 6, 1, 17),
+]
+
+
+class TestTripletConformance:
+    @pytest.mark.parametrize("scheme_name,m,n,o,ring_bits", TRIPLET_GRID)
+    def test_traced_bytes_match_model(
+        self, scheme_name, m, n, o, ring_bits, test_group, rng
+    ):
+        scheme = TABLE2_SCHEMES[scheme_name]
+        result, traces = _traced_triplets(scheme, m, n, o, ring_bits, test_group, rng)
+        mode = "one" if o == 1 else "multi"
+        _assert_conformant(result, traces, expect_exact=(mode == "multi"))
+
+    def test_forced_multi_mode_with_o1(self, test_group, rng):
+        # Forcing multi-batch at o=1 keeps the slack formula exact even
+        # when auto mode would have picked the one-batch protocol.
+        scheme = TABLE2_SCHEMES["4(2,2)"]
+        result, traces = _traced_triplets(
+            scheme, 4, 5, 1, 17, test_group, rng, mode="multi"
+        )
+        _assert_conformant(result, traces, expect_exact=True)
+
+    def test_multi_slack_formula(self):
+        # o*l a multiple of 64 -> no padding; otherwise exact residue.
+        assert triplet_slack_bits(4, 6, 2, 32, [2, 2], "multi") == (0, 0)
+        lo, hi = triplet_slack_bits(4, 6, 3, 32, [4], "multi")
+        # width = ceil(96/64) = 2 words -> 128 - 96 = 32 bits per OT row
+        assert lo == hi == 4 * 6 * 4 * 32
+        lo, hi = triplet_slack_bits(2, 3, 1, 17, [3, 2], "one")
+        assert lo == 0 and hi == 2 * 64  # one chunk per radix group
+
+    def test_predicted_matches_scheme_form(self):
+        # The radix-list form must agree with the FragmentScheme form.
+        from repro.perf.costmodel import abnn2_comm_bits
+
+        scheme = TABLE2_SCHEMES["8(3,3,2)"]
+        radices = [frag.n_values for frag in scheme.fragments]
+        for o, mode in ((1, "one"), (4, "multi")):
+            assert abnn2_comm_bits(scheme, 7, 11, o, 32, mode) == (
+                abnn2_comm_bits_radices(radices, 7, 11, o, 32, mode)
+            )
+
+
+def _traced_relu(ring, y, z1, variant, group):
+    rng = np.random.default_rng(5)
+    y1 = ring.sample(rng, y.shape)
+    y0 = ring.sub(y, y1)
+    attrs = dict(variant=variant, n_relus=int(y.size), ring_bits=ring.bits)
+    traces = {}
+
+    def server_fn(chan):
+        tracer = Tracer("server")
+        chan.tracer = tracer
+        sessions = GcSessions(chan, "evaluator", group=group, seed=1)
+        with tracer.span("online/layer0/relu", **attrs):
+            z0 = relu_layer_server(chan, y0, sessions, ring, variant)
+        traces["server"] = tracer.to_dict()
+        return z0
+
+    def client_fn(chan):
+        tracer = Tracer("client")
+        chan.tracer = tracer
+        sessions = GcSessions(chan, "garbler", group=group, seed=2)
+        with tracer.span("online/layer0/relu", **attrs):
+            relu_layer_client(
+                chan, y1, z1, sessions, ring, np.random.default_rng(9), variant
+            )
+        traces["client"] = tracer.to_dict()
+        return True
+
+    result = run_protocol(server_fn, client_fn)
+    relu = np.where(ring.to_signed(y) > 0, y, 0).astype(np.uint64)
+    assert (ring.add(result.server, z1) == relu).all()
+    return traces
+
+
+class TestGcReluConformance:
+    @pytest.mark.parametrize("ring_bits,n_relus", [(4, 9), (8, 9), (8, 1)])
+    def test_oblivious_relu_byte_exact(self, ring_bits, n_relus, test_group, rng):
+        ring = Ring(ring_bits)
+        y = ring.sample(rng, n_relus)
+        z1 = ring.sample(rng, n_relus)
+        traces = _traced_relu(ring, y, z1, "oblivious", test_group)
+        for party, trace in traces.items():
+            rows = [row for row in conformance_rows(trace) if row.kind == "relu"]
+            assert len(rows) == 1
+            row = rows[0]
+            assert row.predicted_bits == gc_relu_wire_bits(ring_bits, n_relus)
+            assert row.ok is True
+            # the GC ReLU model is *exact*: zero-width tolerance band
+            assert row.core_bits == row.predicted_bits, (
+                f"{party}: measured-core {row.core_bits} != "
+                f"predicted {row.predicted_bits}"
+            )
+            assert row.base_ot_bits > 0  # IKNP setup was isolated, not lost
+            assert check_conformance(trace) == []
+
+    def test_optimized_relu_is_unmodeled(self, test_group, rng):
+        ring = Ring(8)
+        y = ring.sample(rng, 6)
+        z1 = ring.sample(rng, 6)
+        traces = _traced_relu(ring, y, z1, "optimized", test_group)
+        for trace in traces.values():
+            rows = [row for row in conformance_rows(trace) if row.kind == "relu"]
+            assert len(rows) == 1
+            assert rows[0].ok is None  # unmodeled: never a conformance failure
+            assert check_conformance(trace) == []
+
+
+class TestEndToEndTraceConformance:
+    def test_secure_predict_traces_conform(self, trained_model, small_dataset, test_group):
+        """Every modeled span in a full prediction run is within tolerance."""
+        from repro.core.protocol import secure_predict
+        from repro.nn.quantize import quantize_model
+        from repro.quant.fragments import FragmentScheme
+
+        qmodel = quantize_model(
+            trained_model, FragmentScheme.ternary(), Ring(32), frac_bits=6
+        )
+        x = small_dataset.test_x[:2]
+        report = secure_predict(qmodel, x, group=test_group, seed=11)
+        for trace in (report.server_trace, report.client_trace):
+            assert trace is not None
+            rows = conformance_rows(trace)
+            # one triplets row and one oblivious-relu row per hidden layer,
+            # plus a triplets row for the output layer
+            assert sum(row.kind == "triplets" for row in rows) == len(qmodel.layers)
+            assert sum(row.kind == "relu" for row in rows) == len(qmodel.layers) - 1
+            assert all(row.ok is True for row in rows if row.predicted_bits is not None)
+            assert check_conformance(trace) == []

@@ -1,0 +1,102 @@
+"""Exhaustive small-domain correctness sweeps.
+
+Two protocol components are small enough to verify over their *entire*
+input domain rather than by sampling:
+
+* the GC ReLU layer for ring widths l <= 6 — every (y0, y1) share pair,
+  i.e. all ``4**l`` combinations at once as one batched run;
+* fragment digit encoding for every Table 2 scheme (eta <= 8) — every
+  representable weight round-trips through ``digits``/``compose`` with
+  in-range digits and a unique digit vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.relu import relu_layer_client, relu_layer_server
+from repro.gc.protocol import GcSessions
+from repro.net import run_protocol
+from repro.quant.fragments import TABLE2_SCHEMES
+from repro.utils.ring import Ring
+
+
+def _run_relu_shares(ring, y0, y1, z1, variant, group):
+    def server_fn(chan):
+        sessions = GcSessions(chan, "evaluator", group=group, seed=1)
+        return relu_layer_server(chan, y0, sessions, ring, variant)
+
+    def client_fn(chan):
+        sessions = GcSessions(chan, "garbler", group=group, seed=2)
+        return relu_layer_client(
+            chan, y1, z1, sessions, ring, np.random.default_rng(9), variant
+        )
+
+    return run_protocol(server_fn, client_fn).server
+
+
+class TestReluExhaustive:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 6])
+    def test_oblivious_all_share_pairs(self, bits, test_group, rng):
+        """ReLU(y0 + y1) is correct for EVERY share pair of an l-bit ring."""
+        ring = Ring(bits)
+        domain = np.arange(1 << bits, dtype=np.uint64)
+        # all (y0, y1) combinations, flattened into one batched GC run
+        y0 = np.repeat(domain, 1 << bits)
+        y1 = np.tile(domain, 1 << bits)
+        z1 = ring.sample(rng, y0.shape)
+        z0 = _run_relu_shares(ring, y0, y1, z1, "oblivious", test_group)
+        y = ring.add(y0, y1)
+        expected = np.where(ring.to_signed(y) > 0, y, 0).astype(np.uint64)
+        assert (ring.add(z0, z1) == expected).all()
+
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_optimized_all_share_pairs(self, bits, test_group, rng):
+        ring = Ring(bits)
+        domain = np.arange(1 << bits, dtype=np.uint64)
+        y0 = np.repeat(domain, 1 << bits)
+        y1 = np.tile(domain, 1 << bits)
+        z1 = ring.sample(rng, y0.shape)
+        z0 = _run_relu_shares(ring, y0, y1, z1, "optimized", test_group)
+        y = ring.add(y0, y1)
+        expected = np.where(ring.to_signed(y) > 0, y, 0).astype(np.uint64)
+        assert (ring.add(z0, z1) == expected).all()
+
+
+class TestFragmentExhaustive:
+    @pytest.mark.parametrize("scheme_name", sorted(TABLE2_SCHEMES))
+    def test_every_weight_round_trips(self, scheme_name):
+        scheme = TABLE2_SCHEMES[scheme_name]
+        lo, hi = scheme.weight_range
+        weights = np.arange(lo, hi + 1, dtype=np.int64)
+        digits = scheme.digits(weights)
+        assert digits.shape == (weights.size, scheme.gamma)
+        # every digit is a valid OT choice index for its fragment
+        for idx, frag in enumerate(scheme.fragments):
+            column = digits[:, idx]
+            assert column.min() >= 0
+            assert column.max() < frag.n_values
+        # encoding is injective over the full range
+        assert len({tuple(row) for row in digits}) == weights.size
+        # and compose() inverts it exactly
+        assert (scheme.compose(digits) == weights).all()
+
+    @pytest.mark.parametrize("scheme_name", sorted(TABLE2_SCHEMES))
+    def test_range_is_contiguous_and_covers_eta_bits(self, scheme_name):
+        scheme = TABLE2_SCHEMES[scheme_name]
+        lo, hi = scheme.weight_range
+        assert hi - lo + 1 == (
+            np.prod([frag.n_values for frag in scheme.fragments])
+            if scheme_name != "ternary"
+            else 3
+        )
+        if scheme.signed and scheme_name != "ternary":
+            assert lo == -(1 << (scheme.eta - 1))
+            assert hi == (1 << (scheme.eta - 1)) - 1
+
+    def test_out_of_range_weight_rejected(self):
+        from repro.errors import QuantizationError
+
+        scheme = TABLE2_SCHEMES["4(2,2)"]
+        _lo, hi = scheme.weight_range
+        with pytest.raises(QuantizationError):
+            scheme.digits(np.array([hi + 1]))

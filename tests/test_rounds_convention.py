@@ -1,0 +1,113 @@
+"""Round-counting convention audit.
+
+One repo-wide convention — a **round** begins whenever the sending party
+flips, and the first message opens round 1 — is counted independently by
+three components:
+
+* the shared :class:`~repro.net.channel.ChannelStats` of an in-memory
+  channel pair (global view of the sender sequence),
+* each :class:`~repro.net.tcp.TcpChannel` endpoint's own stats (peer
+  traffic attributed on recv),
+* :class:`~repro.perf.trace.Tracer` (flips of *this party's* send/recv
+  stream — equivalent, since a flip of the global sender is exactly a
+  flip between this party sending and receiving).
+
+This module drives identical scripted message sequences through all
+three and asserts they agree, then ties the figure to
+:meth:`~repro.net.netsim.NetworkModel.latency_time_s`, which charges one
+RTT per round.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net import tcp
+from repro.net.channel import make_channel_pair
+from repro.net.netsim import LAN, WAN_SECUREML
+from repro.perf.trace import Tracer
+
+# Each script is the sequence of sending parties (0 = server, 1 = client).
+# Expected rounds = number of sender flips, counting the first message.
+SCRIPTS = [
+    ([0], 1),
+    ([0, 0, 0], 1),
+    ([0, 1], 2),
+    ([1, 0], 2),
+    ([0, 0, 1, 1, 0], 3),
+    ([1, 0, 1, 0], 4),
+    ([0, 1, 0, 1, 1, 0, 0, 1], 6),
+]
+
+
+def _drive(server, client, script):
+    """Send/recv a scripted sequence, fully draining every message."""
+    ends = {0: server, 1: client}
+    for sender in script:
+        ends[sender].send(b"x" * 8)
+        ends[1 - sender].recv()
+
+
+def _attach_tracers(server, client):
+    tracers = (Tracer("server"), Tracer("client"))
+    server.tracer, client.tracer = tracers
+    return tracers
+
+
+class TestInMemoryChannel:
+    @pytest.mark.parametrize("script,expected", SCRIPTS)
+    def test_stats_and_tracers_agree(self, script, expected):
+        server, client = make_channel_pair()
+        tracers = _attach_tracers(server, client)
+        _drive(server, client, script)
+        assert server.stats is client.stats  # shared counter by design
+        assert server.stats.rounds == expected
+        for tracer in tracers:
+            assert tracer.root.totals()["rounds"] == expected
+
+
+def _tcp_pair(timeout_s=10.0):
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    box = {}
+
+    def _serve():
+        box["server"] = tcp.listen(port, timeout_s=timeout_s)
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    client = tcp.connect("127.0.0.1", port, timeout_s=timeout_s)
+    thread.join(timeout=timeout_s)
+    return box["server"], client
+
+
+class TestTcpChannel:
+    @pytest.mark.parametrize("script,expected", SCRIPTS)
+    def test_both_endpoints_and_tracers_agree(self, script, expected):
+        server, client = _tcp_pair()
+        try:
+            tracers = _attach_tracers(server, client)
+            _drive(server, client, script)
+            # endpoints keep separate stats but must reach the same count
+            assert server.stats.rounds == expected
+            assert client.stats.rounds == expected
+            for tracer in tracers:
+                assert tracer.root.totals()["rounds"] == expected
+        finally:
+            server.close()
+            client.close()
+
+
+class TestNetsimTieIn:
+    @pytest.mark.parametrize("script,expected", SCRIPTS)
+    def test_latency_charges_one_rtt_per_round(self, script, expected):
+        server, client = make_channel_pair()
+        _drive(server, client, script)
+        rounds = server.stats.rounds
+        for net in (LAN, WAN_SECUREML):
+            assert net.latency_time_s(rounds) == pytest.approx(rounds * net.rtt_s)
+            assert net.estimate_s(0.0, 0, rounds) == pytest.approx(
+                rounds * net.rtt_s
+            )
