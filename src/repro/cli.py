@@ -7,9 +7,12 @@ a model owner's process and a data owner's process talking over TCP:
     repro-abnn2 train --out model.npz --scheme "4(2,2)"
     repro-abnn2 meta --model model.npz --out meta.json   # give to clients
 
-    # per session
-    repro-abnn2 serve   --model model.npz --port 9001 --batch 4
+    # one long-lived server, many client sessions
+    repro-abnn2 serve   --model model.npz --port 9001 --batch 4 \
+                        --rounds 8 --bank bank.npz --max-sessions 4
     repro-abnn2 predict --meta meta.json --host 127.0.0.1 --port 9001 --demo 4
+
+    # restart: bank.npz is reloaded, the offline phase is skipped
 
     # protocol-parameter planning
     repro-abnn2 cost --eta 8 --batch 128
@@ -31,9 +34,8 @@ import sys
 import numpy as np
 
 from repro.core.params import enumerate_costs, optimal_scheme, scheme_for
-from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta
+from repro.core.protocol import ModelMeta
 from repro.errors import ReproError
-from repro.net import tcp
 from repro.nn.data import synthetic_mnist
 from repro.nn.model import mnist_mlp
 from repro.nn.persist import load_meta, load_model, save_meta, save_model
@@ -84,34 +86,77 @@ def cmd_meta(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import os
+
+    from repro.serve import PredictionServer, TripletBank
+
     qmodel = load_model(args.model)
-    print(f"listening on {args.host}:{args.port} (batch={args.batch})...")
-    chan = tcp.listen(args.port, host=args.host, timeout_s=args.timeout)
+    bank = TripletBank(
+        qmodel,
+        args.batch,
+        capacity=max(args.rounds, 1),
+        auto_replenish=args.replenish,
+        seed=args.seed,
+    )
+    if args.bank and os.path.exists(args.bank):
+        loaded = bank.load(args.bank)
+        print(f"loaded {loaded} banked round(s) from {args.bank} (offline phase skipped)")
+    deficit = args.rounds - bank.depth
+    if deficit > 0:
+        print(f"banking {deficit} offline round(s) (OT triplets, batch={args.batch})...")
+        bank.fill(deficit)
+        gen_mb = bank.metrics()["generation_payload_bytes"] / MB
+        print(f"offline done: {bank.depth} round(s) banked, {gen_mb:.2f} MB of triplet traffic")
+        if args.bank:
+            bank.save(args.bank)
+            print(f"wrote bank bundle: {args.bank}")
+
+    server = PredictionServer(
+        qmodel,
+        bank,
+        port=args.port,
+        host=args.host,
+        max_sessions=args.max_sessions,
+        keep_alive=args.keep_alive,
+        relu_variant=args.relu,
+        session_timeout_s=args.timeout,
+        trace_dir=args.trace_dir,
+        seed=args.seed,
+    )
+    print(
+        f"listening on {server.host}:{server.port} "
+        f"(batch={args.batch}, max_sessions={args.max_sessions}, "
+        f"bank depth={bank.depth})..."
+    )
     try:
-        server = Abnn2Server(
-            chan, qmodel, args.batch, relu_variant=args.relu, seed=args.seed
-        )
-        print("client connected; running offline phase (OT triplets)...")
-        server.offline()
-        print(
-            f"offline done: {server.offline_stats.payload_bytes / MB:.2f} MB, "
-            f"{server.offline_stats.seconds:.2f}s; running online phase..."
-        )
-        server.online()
-        print(
-            f"online done: {server.online_stats.payload_bytes / MB:.2f} MB, "
-            f"{server.online_stats.seconds:.2f}s.  The prediction belongs "
-            "to the client; this side saw only shares."
-        )
-        if args.trace_out:
-            server.tracer.save(args.trace_out)
-            print(f"wrote trace: {args.trace_out}")
+        server.serve_forever(max_total_sessions=args.exit_after)
+    except KeyboardInterrupt:
+        print("interrupted; draining sessions...")
     finally:
-        chan.close()
+        server.stop()
+        if args.bank:
+            remaining = bank.save(args.bank)
+            print(f"persisted {remaining} unused round(s) to {args.bank}")
+    for rec in server.records:
+        if rec.error is not None:
+            print(f"session {rec.session_id}: FAILED ({rec.error})")
+        else:
+            print(
+                f"session {rec.session_id}: {rec.predictions} prediction(s) "
+                f"in {rec.duration_s:.2f}s"
+            )
+    metrics = server.metrics()
+    print(
+        f"served {metrics['sessions_served']} session(s), "
+        f"{metrics['predictions']} prediction(s).  The predictions belong "
+        "to the clients; this side saw only shares."
+    )
     return 0
 
 
 def cmd_predict(args) -> int:
+    from repro.serve import PredictionClient
+
     meta = load_meta(args.meta)
     if args.demo is not None:
         data = synthetic_mnist()
@@ -127,31 +172,28 @@ def cmd_predict(args) -> int:
         )
         return 2
 
-    ring = Ring(meta.ring_bits)
-    from repro.quant.fixed_point import FixedPointEncoder
-
-    encoder = FixedPointEncoder(ring, meta.frac_bits)
-    chan = tcp.connect(args.host, args.port, timeout_s=args.timeout)
+    client = PredictionClient(
+        meta,
+        x.shape[0],
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        relu_variant=args.relu,
+        timeout_s=args.timeout,
+        seed=args.seed,
+    )
     try:
-        client = Abnn2Client(
-            chan, meta, x.shape[0], relu_variant=args.relu, seed=args.seed
-        )
-        print("connected; running offline phase (OT triplets)...")
-        client.offline()
-        print(
-            f"offline done: {client.offline_stats.payload_bytes / MB:.2f} MB; "
-            "running online phase..."
-        )
-        logits = client.online(encoder.encode(x.T))
-        predictions = np.argmax(ring.to_signed(logits), axis=0)
+        print(f"connected (session {client.session_id}, mode={args.mode})...")
+        for _ in range(args.rounds):
+            _, predictions = client.predict(x)
+            print(f"predictions: {predictions.tolist()}")
+            if truth is not None:
+                print(f"ground truth: {truth.tolist()}")
         if args.trace_out:
             client.tracer.save(args.trace_out)
             print(f"wrote trace: {args.trace_out}")
     finally:
-        chan.close()
-    print(f"predictions: {predictions.tolist()}")
-    if truth is not None:
-        print(f"ground truth: {truth.tolist()}")
+        client.close()
     return 0
 
 
@@ -232,15 +274,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_meta)
 
-    p = sub.add_parser("serve", help="run the server party over TCP")
+    p = sub.add_parser("serve", help="run the multi-session prediction server")
     p.add_argument("--model", required=True)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, required=True)
     p.add_argument("--batch", type=int, default=1)
+    p.add_argument(
+        "--rounds", type=int, default=1,
+        help="offline rounds to bank before accepting clients",
+    )
+    p.add_argument(
+        "--bank",
+        help="bank bundle path (.npz): loaded if present, written after generation",
+    )
+    p.add_argument(
+        "--max-sessions", type=int, default=4,
+        help="maximum concurrent client sessions",
+    )
+    p.add_argument(
+        "--keep-alive", action=argparse.BooleanOptionalAction, default=True,
+        help="let one session run multiple prediction rounds",
+    )
+    p.add_argument(
+        "--replenish", action="store_true",
+        help="regenerate offline rounds in the background as sessions drain the bank",
+    )
+    p.add_argument(
+        "--exit-after", type=int, default=None,
+        help="stop after accepting this many sessions (default: serve forever)",
+    )
     p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)
-    p.add_argument("--trace-out", help="write this party's trace JSON after the run")
+    p.add_argument("--trace-dir", help="write one trace JSON per session here")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("predict", help="run the client party over TCP")
@@ -250,6 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
     group = p.add_mutually_exclusive_group(required=True)
     group.add_argument("--input", help=".npy of shape (batch, features)")
     group.add_argument("--demo", type=int, help="use N synthetic test digits")
+    p.add_argument(
+        "--rounds", type=int, default=1,
+        help="prediction rounds to run on this session (keep-alive)",
+    )
+    p.add_argument(
+        "--mode", default="bank", choices=("bank", "interactive"),
+        help="bank: server deals precomputed material; interactive: joint offline phase",
+    )
     p.add_argument("--relu", default="oblivious", choices=("oblivious", "optimized"))
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)

@@ -44,6 +44,20 @@ class SecureMatmulServer:
         """Run the OT-based triplet generation (interactive)."""
         self._u = generate_triplets_server(self.chan, self.w_int, self.config, seed=self._seed)
 
+    def preload(self, u: np.ndarray) -> None:
+        """Adopt a precomputed ``U`` share instead of running :meth:`offline`.
+
+        The serving layer's triplet bank generates material ahead of time
+        (see :mod:`repro.serve.bank`); this installs one banked share after
+        shape validation, so no OT traffic happens on this channel.
+        """
+        u_arr = self.config.ring.reduce(u)
+        if u_arr.shape != (self.config.m, self.config.o):
+            raise ConfigError(
+                f"expected U of shape {(self.config.m, self.config.o)}, got {u_arr.shape}"
+            )
+        self._u = u_arr
+
     @property
     def u(self) -> np.ndarray:
         if self._u is None:
@@ -90,6 +104,19 @@ class SecureMatmulClient:
         self._v = generate_triplets_client(
             self.chan, self.r, self.config, self._rng, seed=self._seed
         )
+
+    def preload(self, v: np.ndarray) -> None:
+        """Adopt a precomputed ``V`` share instead of running :meth:`offline`.
+
+        Counterpart of :meth:`SecureMatmulServer.preload` for banked
+        offline rounds dealt to a session by the serving layer.
+        """
+        v_arr = self.config.ring.reduce(v)
+        if v_arr.shape != (self.config.m, self.config.o):
+            raise ConfigError(
+                f"expected V of shape {(self.config.m, self.config.o)}, got {v_arr.shape}"
+            )
+        self._v = v_arr
 
     @property
     def v(self) -> np.ndarray:

@@ -244,12 +244,46 @@ class Abnn2Server(_PartyBase):
         """Prediction batches the precomputed material still covers."""
         return len(self._pending)
 
+    def export_offline_round(self) -> list[np.ndarray]:
+        """Pop one precomputed round as raw per-layer ``U`` shares.
+
+        This is the bank-side extraction hook (:mod:`repro.serve.bank`):
+        the arrays round-trip through :meth:`load_offline_round` on a
+        *different* server instance without touching any channel.
+        """
+        if not self._pending:
+            raise ProtocolError(
+                "offline material exhausted: call offline(rounds=...) first"
+            )
+        return [matmul.u for matmul in self._pending.pop(0)]
+
+    def load_offline_round(self, us: list[np.ndarray]) -> None:
+        """Append one banked round (per-layer ``U`` shares) to the queue.
+
+        No communication happens: the matmul engines are constructed with
+        their triplet shares preloaded, so the next :meth:`online` call can
+        run with zero offline traffic on this channel.
+        """
+        if len(us) != len(self.model.layers):
+            raise ConfigError(
+                f"banked round has {len(us)} layers, model has {len(self.model.layers)}"
+            )
+        matmuls = []
+        for idx, (layer, u) in enumerate(zip(self.model.layers, us)):
+            server = self.matmul_server_cls(
+                self.chan, layer.w_int, self._layer_config(self.meta.layers[idx])
+            )
+            server.preload(u)
+            matmuls.append(server)
+        self._pending.append(matmuls)
+
     def online(self) -> np.ndarray:
         """Run one prediction batch; returns the server's logit share
         (already transmitted to the client).  Consumes one offline round."""
         if not self._pending:
             raise ProtocolError(
-                "no precomputed triplets left: call offline(rounds=...) first"
+                "offline material exhausted: call offline(rounds=...) first "
+                "(checked before any bytes cross the wire)"
             )
         matmuls = self._pending.pop(0)
 
@@ -378,13 +412,98 @@ class Abnn2Client(_PartyBase):
         """Prediction batches the precomputed material still covers."""
         return len(self._pending)
 
+    def export_offline_round(self) -> dict:
+        """Pop one precomputed round as plain arrays (bank extraction hook).
+
+        The returned dict holds exactly what :meth:`online` consumes:
+        per-layer ``V`` matmul shares, the fresh ReLU output shares, the
+        max-pool reshares (``None`` where a layer has no max pool), and
+        the input mask.  Round-trips through :meth:`load_offline_round`.
+        """
+        if not self._pending:
+            raise ProtocolError(
+                "offline material exhausted: call offline(rounds=...) first"
+            )
+        material = self._pending.pop(0)
+        return {
+            "v": [matmul.v for matmul in material["matmuls"]],
+            "relu_shares": list(material["relu_shares"]),
+            "pool_shares": list(material["pool_shares"]),
+            "input_mask": material["input_mask"],
+        }
+
+    def load_offline_round(self, material: dict) -> None:
+        """Append one banked round (see :meth:`export_offline_round`).
+
+        Shapes are validated against the architecture metadata so a
+        malformed or mismatched bank surfaces as a :class:`ConfigError`
+        here, not as a desynchronized online phase.  No communication
+        happens.
+        """
+        n_layers = len(self.meta.layers)
+        vs = material["v"]
+        relu_shares = material["relu_shares"]
+        pool_shares = material["pool_shares"]
+        input_mask = self.ring.reduce(material["input_mask"])
+        if len(vs) != n_layers:
+            raise ConfigError(f"banked round has {len(vs)} layers, meta has {n_layers}")
+        if len(relu_shares) != n_layers - 1 or len(pool_shares) != n_layers - 1:
+            raise ConfigError(
+                "banked round must carry one ReLU/pool share per hidden layer"
+            )
+        expected_mask = (self.meta.layers[0].in_features, self.batch)
+        if input_mask.shape != expected_mask:
+            raise ConfigError(
+                f"expected input mask of shape {expected_mask}, got {input_mask.shape}"
+            )
+        matmuls = []
+        checked_relu = []
+        checked_pool = []
+        for idx, layer in enumerate(self.meta.layers):
+            config = self._layer_config(layer)
+            # The banked V already embeds R; the online path never needs R
+            # again, so the engine gets a placeholder operand.
+            client = self.matmul_client_cls(
+                self.chan, config, self.rng, r_mat=self.ring.zeros((config.n, config.o))
+            )
+            client.preload(vs[idx])
+            matmuls.append(client)
+            if idx < n_layers - 1:
+                z1 = self.ring.reduce(relu_shares[idx])
+                if z1.shape != (layer.relu_features, self.batch):
+                    raise ConfigError(
+                        f"layer {idx}: expected ReLU share of shape "
+                        f"{(layer.relu_features, self.batch)}, got {z1.shape}"
+                    )
+                checked_relu.append(z1)
+                pool = pool_shares[idx]
+                if layer.pool is not None and layer.pool.kind == "max":
+                    if pool is None:
+                        raise ConfigError(f"layer {idx}: missing max-pool reshare")
+                    pool = self.ring.reduce(pool)
+                    if pool.shape != (layer.pool.out_features, self.batch):
+                        raise ConfigError(
+                            f"layer {idx}: expected pool share of shape "
+                            f"{(layer.pool.out_features, self.batch)}, got {pool.shape}"
+                        )
+                checked_pool.append(pool)
+        self._pending.append(
+            {
+                "matmuls": matmuls,
+                "relu_shares": checked_relu,
+                "pool_shares": checked_pool,
+                "input_mask": input_mask,
+            }
+        )
+
     def online(self, x_ring: np.ndarray) -> np.ndarray:
         """Run one prediction batch on fixed-point inputs shaped
         ``(features, batch)``; returns the reconstructed integer logits.
         Consumes one offline round."""
         if not self._pending:
             raise ProtocolError(
-                "no precomputed triplets left: call offline(rounds=...) first"
+                "offline material exhausted: call offline(rounds=...) first "
+                "(checked before any bytes cross the wire)"
             )
         x = self.ring.reduce(x_ring)
         expected = (self.meta.layers[0].in_features, self.batch)

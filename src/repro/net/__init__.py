@@ -5,8 +5,14 @@ from repro.net.channel import Channel, ChannelStats, make_channel_pair
 from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, FaultyChannel
 from repro.net.runner import run_protocol, ProtocolResult
 from repro.net.netsim import NetworkModel, LAN, WAN_SECUREML, WAN_QUOTIENT
+from repro.net.tcp import Listener, SESSION_ANY, TcpChannel, connect, listen
 
 __all__ = [
+    "Listener",
+    "SESSION_ANY",
+    "TcpChannel",
+    "connect",
+    "listen",
     "Channel",
     "ChannelStats",
     "make_channel_pair",

@@ -25,6 +25,13 @@ chosen **send indices** of the wrapped endpoint.  Fault classes:
 ``disconnect``
     Abruptly drop the transport (no graceful-close signal) and raise on
     the injecting side; the peer sees a connection-lost error.
+``stall``
+    Deliver only a prefix of the framed message, then go silent — models
+    a frame split across the receiver's deadline boundary.  Over TCP the
+    receiver must raise a typed mid-frame timeout
+    :class:`~repro.errors.ChannelError` (never hand a short buffer to
+    the CRC check); the in-memory transport has no partial frames, so
+    there the stall degrades to a dropped message (recv timeout).
 
 Every choice (message index, cut point, flipped byte positions) is
 drawn from ``random.Random(seed)``, so a failing soak case replays
@@ -40,7 +47,7 @@ from dataclasses import dataclass
 from repro.errors import ChannelError, ConfigError
 from repro.utils import serialization
 
-FAULT_KINDS = ("delay", "drop", "truncate", "corrupt", "disconnect")
+FAULT_KINDS = ("delay", "drop", "truncate", "corrupt", "disconnect", "stall")
 
 
 @dataclass(frozen=True)
@@ -195,6 +202,15 @@ class FaultyChannel:
             raise ChannelError(
                 f"injected disconnect at message index {spec.message_index}"
             )
+        elif spec.kind == "stall":
+            data = serialization.encode(obj)
+            inject = getattr(self._inner, "_inject_partial_frame", None)
+            if inject is not None:
+                inject(data, spec.keep_fraction)
+            else:
+                # No partial frames in memory: the message simply never
+                # completes, which the receiver sees as a recv timeout.
+                self._inner._skip_frame()
 
     def __repr__(self) -> str:
         return f"FaultyChannel({self._inner!r}, {self._plan!r})"

@@ -16,7 +16,10 @@ Wire format (all little-endian):
 * **Handshake** — on connect each side sends 15 bytes,
   ``magic(4) | version(u16) | party(u8) | session_id(u64)``, then
   validates the peer's: magic and version must match, parties must be
-  complementary, session ids equal.  Any mismatch raises
+  complementary, session ids equal.  A side that sends the wildcard id
+  :data:`SESSION_ANY` instead *adopts* the peer's id — this is how a
+  prediction client lets the serving accept-loop assign it a fresh
+  per-connection session id.  Any other mismatch raises
   :class:`HandshakeError` before protocol traffic flows.
 * **Frame** — ``type(u8) | seq(u64) | length(u64) | payload | crc32(u32)``
   with the CRC computed over the header+payload, so a bit flipped
@@ -44,8 +47,12 @@ from repro.errors import ChannelError, HandshakeError
 from repro.net.channel import ChannelStats
 from repro.utils import serialization
 
-#: Bumped whenever the frame or handshake layout changes.
-WIRE_VERSION = 2
+#: Bumped whenever the frame or handshake layout/semantics change.
+#: v3 added wildcard session-id adoption (:data:`SESSION_ANY`).
+WIRE_VERSION = 3
+
+#: Wildcard session id: "assign me one" — the peer's id is adopted.
+SESSION_ANY = (1 << 64) - 1
 
 _MAGIC = b"AB2\x00"
 _HANDSHAKE_FMT = "<4sHBQ"
@@ -85,6 +92,7 @@ class TcpChannel:
         self._peer_closed = False
         self._send_seq = 0
         self._recv_seq = 0
+        self._timeout_s = timeout_s
         sock.settimeout(timeout_s)
         try:
             # Protocol messages are latency-sensitive and already batched.
@@ -117,9 +125,13 @@ class TcpChannel:
                 f"party collision: both endpoints claim party {self.party}"
             )
         if peer_session != self.session_id:
-            raise HandshakeError(
-                f"session id mismatch: peer {peer_session} != ours {self.session_id}"
-            )
+            if self.session_id == SESSION_ANY:
+                # We asked to be assigned one: adopt the peer's id.
+                self.session_id = peer_session
+            elif peer_session != SESSION_ANY:
+                raise HandshakeError(
+                    f"session id mismatch: peer {peer_session} != ours {self.session_id}"
+                )
 
     # ------------------------------------------------------------------ #
     def send(self, obj) -> None:
@@ -216,16 +228,58 @@ class TcpChannel:
         """
         self._send_seq += 1
 
+    def _inject_partial_frame(self, data: bytes, keep_fraction: float) -> None:
+        """Fault-injection hook: send only a prefix of one framed message.
+
+        Models a peer (or network) that stalls mid-frame: the receiver
+        must hit its recv deadline with a typed mid-frame timeout, never
+        hand a short buffer to the CRC check.  At least one byte is sent
+        and at least one withheld; the sequence number is consumed.
+        """
+        head = struct.pack(_HEAD_FMT, _FRAME_DATA, self._send_seq, len(data))
+        frame = head + data + struct.pack(_CRC_FMT, zlib.crc32(head + data))
+        cut = max(1, min(len(frame) - 1, int(len(frame) * keep_fraction)))
+        try:
+            self._sock.sendall(frame[:cut])
+        except OSError as exc:
+            raise ChannelError(f"socket send failed: {exc}") from exc
+        self._send_seq += 1
+
     def _recv_exact(self, count: int) -> bytes:
+        """Read exactly ``count`` bytes under one overall deadline.
+
+        The deadline covers the whole read, not each chunk: a peer that
+        trickles a frame cannot extend the wait indefinitely, and a frame
+        split across the deadline boundary raises a timeout
+        :class:`ChannelError` naming the partial progress — it is never
+        delivered short to the CRC/decode stage.
+        """
         chunks = []
         remaining = count
+        deadline = time.monotonic() + self._timeout_s
         while remaining:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
+                raise ChannelError(
+                    f"socket recv timed out mid-frame after {self._timeout_s}s "
+                    f"({count - remaining} of {count} bytes arrived)"
+                )
             try:
+                self._sock.settimeout(budget)
                 chunk = self._sock.recv(min(remaining, 1 << 20))
             except socket.timeout as exc:
-                raise ChannelError("socket recv timed out") from exc
+                raise ChannelError(
+                    f"socket recv timed out after {self._timeout_s}s "
+                    f"({count - remaining} of {count} bytes arrived)"
+                ) from exc
             except OSError as exc:
                 raise ChannelError(f"socket recv failed: {exc}") from exc
+            finally:
+                # send() and the next read must see the full deadline again.
+                try:
+                    self._sock.settimeout(self._timeout_s)
+                except OSError:
+                    pass
             if not chunk:
                 if remaining < count:
                     raise ChannelError(
@@ -274,6 +328,69 @@ class TcpChannel:
         self.close()
 
 
+class Listener:
+    """A bound listening socket that accepts any number of peers.
+
+    The one-shot :func:`listen` helper tears the listening socket down
+    after the first client; a serving process instead keeps one
+    :class:`Listener` open for its whole lifetime and accepts a fresh
+    channel per session (see :class:`repro.serve.server.PredictionServer`).
+    Pass ``port=0`` to bind an ephemeral port; the chosen one is exposed
+    as :attr:`port`.
+    """
+
+    def __init__(self, port: int, host: str = "127.0.0.1", backlog: int = 16) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._sock.bind((host, port))
+            self._sock.listen(backlog)
+        except OSError as exc:
+            self._sock.close()
+            raise ChannelError(f"cannot listen on {host}:{port}: {exc}") from exc
+        self.host = host
+        self.port = self._sock.getsockname()[1]
+        self._closed = False
+
+    def accept_socket(self, timeout_s: float | None = None) -> tuple[socket.socket, tuple]:
+        """Accept one raw connection; no handshake runs yet.
+
+        The accept loop of a multi-session server uses this so a slow or
+        hostile client's handshake cannot block further accepts — the
+        handshake happens on the session thread when it builds the
+        :class:`TcpChannel`.
+        """
+        if self._closed:
+            raise ChannelError("accept on closed listener")
+        self._sock.settimeout(timeout_s)
+        try:
+            return self._sock.accept()
+        except socket.timeout as exc:
+            raise ChannelError(f"no client connected within {timeout_s}s") from exc
+        except OSError as exc:
+            raise ChannelError(f"accept failed: {exc}") from exc
+
+    def accept(
+        self,
+        timeout_s: float = 600.0,
+        session_id: int = 0,
+    ) -> TcpChannel:
+        """Accept one peer and complete the handshake (party 0 side)."""
+        conn, _addr = self.accept_socket(timeout_s)
+        return TcpChannel(conn, party=0, timeout_s=timeout_s, session_id=session_id)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def listen(
     port: int,
     host: str = "127.0.0.1",
@@ -281,19 +398,8 @@ def listen(
     session_id: int = 0,
 ) -> TcpChannel:
     """Bind, accept one peer, and return the server-side channel (party 0)."""
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    try:
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((host, port))
-        listener.listen(1)
-        listener.settimeout(timeout_s)
-        try:
-            conn, _addr = listener.accept()
-        except socket.timeout as exc:
-            raise ChannelError(f"no client connected within {timeout_s}s") from exc
-    finally:
-        listener.close()
-    return TcpChannel(conn, party=0, timeout_s=timeout_s, session_id=session_id)
+    with Listener(port, host=host, backlog=1) as listener:
+        return listener.accept(timeout_s=timeout_s, session_id=session_id)
 
 
 def connect(

@@ -201,6 +201,15 @@ class Tracer:
         """The innermost open span (the root if none is open)."""
         return self._stack[-1]
 
+    def annotate(self, **attrs: Any) -> None:
+        """Merge attributes into the root span.
+
+        The serving layer stamps per-session facts (session id, bank
+        depth, sessions served, replenish lag) into the exported trace
+        document this way, so one trace file is self-describing.
+        """
+        self.root.attrs.update(attrs)
+
     # ------------------------------------------------------------------ #
     # channel hook
     # ------------------------------------------------------------------ #

@@ -1,0 +1,135 @@
+"""Triplet-bank persistence: offline material that survives a restart.
+
+The deployment story the paper (and MiniONN/SecureML before it) sells is
+*amortization*: the expensive OT-based offline phase runs ahead of time
+and many online predictions draw from it.  For that to survive a server
+restart, banked rounds must live on disk.  This module stores them the
+same way :mod:`repro.nn.persist` stores models — an ``.npz`` of arrays
+plus a JSON manifest — so bundles stay inspectable and diffable.
+
+A bank bundle is only valid for the exact model (weights included), ring,
+and batch it was generated for: reusing triplets against different
+weights silently breaks correctness, and reusing them twice breaks
+security.  The manifest therefore records a :func:`model_fingerprint`
+and the loader refuses anything that does not match.
+
+Round layout inside the ``.npz`` (round ``r``, layer ``i``):
+
+* ``r{r}_u{i}`` — the server's per-layer ``U`` triplet share,
+* ``r{r}_v{i}`` — the client's per-layer ``V`` triplet share,
+* ``r{r}_relu{i}`` — the client's fresh ReLU output share (hidden layers),
+* ``r{r}_pool{i}`` — the client's max-pool reshare (only where present),
+* ``r{r}_mask`` — the client's input mask.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.quantize import QuantizedModel
+
+#: Bumped whenever the bank bundle layout changes.
+BANK_FORMAT_VERSION = 1
+
+
+def model_fingerprint(model: QuantizedModel) -> str:
+    """Hex digest binding a bank to one exact model configuration.
+
+    Covers ring width, fixed-point scaling, and every layer's scheme,
+    truncation, weights, and biases — anything that changes the triplet
+    material or the shares' meaning.
+    """
+    h = hashlib.sha256()
+    h.update(f"ring={model.ring.bits};frac={model.encoder.frac_bits};".encode())
+    for layer in model.layers:
+        h.update(f"{layer.scheme.name};t={layer.truncate_bits};".encode())
+        h.update(np.ascontiguousarray(layer.w_int, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(layer.bias_int, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def save_bank(path, *, fingerprint: str, batch: int, rounds: list[dict]) -> None:
+    """Write banked offline rounds to an ``.npz`` bundle.
+
+    ``rounds`` entries are dicts with ``server_us`` (list of arrays) and
+    ``client`` (the :meth:`Abnn2Client.export_offline_round` dict).
+    """
+    pool_present: list[list[bool]] = []
+    arrays: dict[str, np.ndarray] = {}
+    for r, rnd in enumerate(rounds):
+        client = rnd["client"]
+        for i, u in enumerate(rnd["server_us"]):
+            arrays[f"r{r}_u{i}"] = np.asarray(u, dtype=np.uint64)
+        for i, v in enumerate(client["v"]):
+            arrays[f"r{r}_v{i}"] = np.asarray(v, dtype=np.uint64)
+        for i, z1 in enumerate(client["relu_shares"]):
+            arrays[f"r{r}_relu{i}"] = np.asarray(z1, dtype=np.uint64)
+        present = []
+        for i, pool in enumerate(client["pool_shares"]):
+            present.append(pool is not None)
+            if pool is not None:
+                arrays[f"r{r}_pool{i}"] = np.asarray(pool, dtype=np.uint64)
+        pool_present.append(present)
+        arrays[f"r{r}_mask"] = np.asarray(client["input_mask"], dtype=np.uint64)
+    n_layers = len(rounds[0]["server_us"]) if rounds else 0
+    manifest = {
+        "format_version": BANK_FORMAT_VERSION,
+        "fingerprint": fingerprint,
+        "batch": batch,
+        "n_rounds": len(rounds),
+        "n_layers": n_layers,
+        "pool_present": pool_present,
+    }
+    arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def load_bank(path, *, fingerprint: str, batch: int) -> list[dict]:
+    """Inverse of :func:`save_bank`; refuses mismatched model or batch.
+
+    Shape validation is deliberately left to
+    :meth:`repro.core.protocol.Abnn2Client.load_offline_round` — the
+    fingerprint pins the semantic identity, the loader only restores
+    structure.
+    """
+    with np.load(path) as bundle:
+        manifest = json.loads(bytes(bundle["manifest"]).decode())
+        if manifest.get("format_version") != BANK_FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported bank format {manifest.get('format_version')}"
+            )
+        if manifest["fingerprint"] != fingerprint:
+            raise ConfigError(
+                "bank fingerprint mismatch: this bundle was generated for a "
+                "different model (or model revision); regenerate the bank"
+            )
+        if manifest["batch"] != batch:
+            raise ConfigError(
+                f"bank was generated for batch={manifest['batch']}, "
+                f"server is configured for batch={batch}"
+            )
+        n_layers = manifest["n_layers"]
+        rounds = []
+        for r in range(manifest["n_rounds"]):
+            present = manifest["pool_present"][r]
+            client = {
+                "v": [bundle[f"r{r}_v{i}"] for i in range(n_layers)],
+                "relu_shares": [bundle[f"r{r}_relu{i}"] for i in range(n_layers - 1)],
+                "pool_shares": [
+                    bundle[f"r{r}_pool{i}"] if present[i] else None
+                    for i in range(n_layers - 1)
+                ],
+                "input_mask": bundle[f"r{r}_mask"],
+            }
+            rounds.append(
+                {
+                    "server_us": [bundle[f"r{r}_u{i}"] for i in range(n_layers)],
+                    "client": client,
+                }
+            )
+    return rounds

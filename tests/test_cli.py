@@ -103,8 +103,8 @@ class TestReport:
 
 
 class TestServePredict:
-    def test_tcp_roundtrip_subprocesses(self, tmp_path):
-        """Full deployment: two OS processes over a real socket."""
+    @staticmethod
+    def _train(tmp_path):
         model_path = tmp_path / "m.npz"
         meta_path = tmp_path / "meta.json"
         assert (
@@ -117,29 +117,67 @@ class TestServePredict:
             )
             == 0
         )
-        port = _free_port()
-        server = subprocess.Popen(
+        return model_path, meta_path
+
+    @staticmethod
+    def _serve(model_path, port, rounds, exit_after, *extra):
+        return subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve", "--model", str(model_path),
                 "--port", str(port), "--batch", "2", "--seed", "3",
+                "--rounds", str(rounds), "--exit-after", str(exit_after), *extra,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
         )
+
+    @staticmethod
+    def _predict(meta_path, port, seed, *extra):
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro", "predict", "--meta", str(meta_path),
+                "--port", str(port), "--demo", "2", "--seed", str(seed), *extra,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+
+    def test_tcp_roundtrip_subprocesses(self, tmp_path):
+        """Full deployment: two OS processes over a real socket."""
+        model_path, meta_path = self._train(tmp_path)
+        port = _free_port()
+        server = self._serve(model_path, port, rounds=1, exit_after=1)
         try:
-            client = subprocess.run(
-                [
-                    sys.executable, "-m", "repro", "predict", "--meta", str(meta_path),
-                    "--port", str(port), "--demo", "2", "--seed", "4",
-                ],
-                capture_output=True,
-                text=True,
-                timeout=600,
-            )
+            client = self._predict(meta_path, port, seed=4)
             assert client.returncode == 0, client.stderr
             assert "predictions:" in client.stdout
             server_out, _ = server.communicate(timeout=60)
+            assert "saw only shares" in server_out
+        finally:
+            if server.poll() is None:
+                server.kill()
+
+    def test_server_survives_reconnecting_clients(self, tmp_path):
+        """Regression: one server process, two sequential client sessions.
+
+        The pre-serve cmd_serve exited (or wedged) after its first
+        client; now the listener stays up and every banked round is
+        servable without a restart.
+        """
+        model_path, meta_path = self._train(tmp_path)
+        port = _free_port()
+        server = self._serve(model_path, port, rounds=2, exit_after=2)
+        try:
+            first = self._predict(meta_path, port, seed=4)
+            assert first.returncode == 0, first.stderr
+            assert "predictions:" in first.stdout
+            second = self._predict(meta_path, port, seed=5)
+            assert second.returncode == 0, second.stderr
+            assert "predictions:" in second.stdout
+            server_out, _ = server.communicate(timeout=60)
+            assert "served 2 session(s), 2 prediction(s)" in server_out
             assert "saw only shares" in server_out
         finally:
             if server.poll() is None:

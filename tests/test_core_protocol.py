@@ -165,6 +165,154 @@ class TestPartyApis:
         run_protocol(server_fn, client_fn)
 
 
+class TestExhaustionGating:
+    """online() with no banked rounds must fail typed on *both* parties
+    before any protocol bytes cross the wire — never desync the stream."""
+
+    def test_server_raises_before_any_bytes(self, qmodel_ternary, test_group):
+        server_chan, _ = make_channel_pair()
+        server = Abnn2Server(server_chan, qmodel_ternary, batch=1, group=test_group)
+        with pytest.raises(ProtocolError, match="offline material exhausted"):
+            server.online()
+        assert server_chan.stats.total_bytes == 0
+        assert server_chan.stats.total_messages == 0
+
+    def test_client_raises_before_any_bytes(self, qmodel_ternary, test_group):
+        _, client_chan = make_channel_pair()
+        meta = ModelMeta.from_model(qmodel_ternary)
+        client = Abnn2Client(client_chan, meta, batch=1, group=test_group)
+        with pytest.raises(ProtocolError, match="offline material exhausted"):
+            client.online(np.zeros((784, 1), dtype=np.uint64))
+        assert client_chan.stats.total_bytes == 0
+        assert client_chan.stats.total_messages == 0
+
+    def test_asymmetric_exhaustion_fails_typed_without_hanging(
+        self, qmodel_ternary, small_dataset, test_group
+    ):
+        """Server has a round, client does not: the client's local gate
+        fires first, the server never receives a half-round of traffic."""
+        import threading
+        import time
+
+        from repro.net.runner import run_protocol
+
+        enc = qmodel_ternary.encoder
+        x = small_dataset.test_x[:1]
+        online_bytes = {}
+
+        def server_fn(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 1, group=test_group, seed=1)
+            server.offline(rounds=2)
+            server.online()
+            before = chan.stats.total_bytes
+            try:
+                # The server still holds a round, so it enters the second
+                # online and blocks waiting for the client's input share.
+                server.online()
+            finally:
+                online_bytes["second_round"] = chan.stats.total_bytes - before
+
+        def client_fn(chan):
+            meta = ModelMeta.from_model(qmodel_ternary)
+            client = Abnn2Client(chan, meta, 1, group=test_group, seed=2)
+            client.offline(rounds=2)
+            # Drain one client round out-of-band: the asymmetric case.
+            client.export_offline_round()
+            client.online(enc.encode(x.T))
+            client.online(enc.encode(x.T))  # exhausted on this side only
+
+        with pytest.raises(ProtocolError, match="offline material exhausted"):
+            run_protocol(server_fn, client_fn, timeout_s=10.0)
+        # The client's gate fired before it sent its input share, so no
+        # second-round traffic crossed the wire in either direction.
+        assert online_bytes["second_round"] == 0
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(t.name == "abnn2-server" for t in threading.enumerate()):
+                break
+            time.sleep(0.05)
+        assert not any(t.name == "abnn2-server" for t in threading.enumerate())
+
+
+class TestOfflineExportLoad:
+    """export_offline_round()/load_offline_round(): the serving bank's
+    contract with the protocol parties."""
+
+    def test_export_empty_raises_typed(self, qmodel_ternary, test_group):
+        server_chan, client_chan = make_channel_pair()
+        server = Abnn2Server(server_chan, qmodel_ternary, 1, group=test_group)
+        with pytest.raises(ProtocolError, match="exhausted"):
+            server.export_offline_round()
+        meta = ModelMeta.from_model(qmodel_ternary)
+        client = Abnn2Client(client_chan, meta, 1, group=test_group)
+        with pytest.raises(ProtocolError, match="exhausted"):
+            client.export_offline_round()
+
+    def test_roundtrip_matches_plaintext(self, qmodel_ternary, small_dataset, test_group):
+        """Material generated on one channel pair, exported, and loaded
+        into fresh parties on another pair must predict correctly."""
+        from repro.net.runner import run_protocol
+
+        enc = qmodel_ternary.encoder
+        x = small_dataset.test_x[:2]
+        meta = ModelMeta.from_model(qmodel_ternary)
+
+        def gen_server(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 2, group=test_group, seed=21)
+            server.offline(rounds=1)
+            return server.export_offline_round()
+
+        def gen_client(chan):
+            client = Abnn2Client(chan, meta, 2, group=test_group, seed=22)
+            client.offline(rounds=1)
+            return client.export_offline_round()
+
+        material = run_protocol(gen_server, gen_client)
+
+        def use_server(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 2, group=test_group)
+            server.load_offline_round(material.server)
+            assert server.rounds_available == 1
+            server.online()
+
+        def use_client(chan):
+            client = Abnn2Client(chan, meta, 2, group=test_group)
+            client.load_offline_round(material.client)
+            return client.online(enc.encode(x.T))
+
+        result = run_protocol(use_server, use_client)
+        assert (result.client == qmodel_ternary.forward_int(enc.encode(x.T))).all()
+
+    def test_load_validates_shapes(self, qmodel_ternary, test_group):
+        from repro.net.runner import run_protocol
+
+        meta = ModelMeta.from_model(qmodel_ternary)
+
+        def gen_server(chan):
+            server = Abnn2Server(chan, qmodel_ternary, 1, group=test_group, seed=21)
+            server.offline(rounds=1)
+            return server.export_offline_round()
+
+        def gen_client(chan):
+            client = Abnn2Client(chan, meta, 1, group=test_group, seed=22)
+            client.offline(rounds=1)
+            return client.export_offline_round()
+
+        material = run_protocol(gen_server, gen_client)
+        _, client_chan = make_channel_pair()
+        client = Abnn2Client(client_chan, meta, 1, group=test_group)
+        with pytest.raises(ConfigError):
+            client.load_offline_round({**material.client, "v": material.client["v"][:-1]})
+        bad_mask = dict(material.client)
+        bad_mask["input_mask"] = np.zeros((3, 1), dtype=np.uint64)
+        with pytest.raises(ConfigError):
+            client.load_offline_round(bad_mask)
+        server_chan, _ = make_channel_pair()
+        server = Abnn2Server(server_chan, qmodel_ternary, 1, group=test_group)
+        with pytest.raises(ConfigError):
+            server.load_offline_round(material.server[:-1])
+
+
 class TestRing64:
     def test_end_to_end_l64(self, trained_model, small_dataset, test_group):
         """The paper's l=64 block of Table 4 exercises Ring(64) end to end."""

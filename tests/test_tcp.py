@@ -192,6 +192,152 @@ class TestHardenedFraming:
         client.close()
 
 
+class TestPartialFrameDeadline:
+    """A frame split across the recv deadline must raise a timeout error,
+    never deliver a truncated frame to the CRC/decode stage."""
+
+    def test_partial_frame_times_out_typed(self):
+        raw, chan = _raw_channel(timeout_s=0.5)
+        try:
+            data = serialization.encode(b"this frame will stall mid-flight")
+            head = struct.pack("<BQQ", 0, 0, len(data))
+            crc = __import__("zlib").crc32(head + data)
+            frame = head + data + struct.pack("<I", crc)
+            raw.sendall(frame[: len(frame) - 7])  # stall before the CRC
+            start = time.monotonic()
+            with pytest.raises(ChannelError, match="mid-frame|timed out"):
+                chan.recv()
+            # The deadline is overall, not per-chunk: one timeout window.
+            assert time.monotonic() - start < 2.0
+        finally:
+            raw.close()
+            chan.abort()
+
+    def test_trickled_frame_cannot_extend_deadline(self):
+        """A byte-at-a-time sender must still hit the overall deadline."""
+        raw, chan = _raw_channel(timeout_s=0.6)
+        box = {}
+
+        def _trickle():
+            data = serialization.encode(b"x" * 64)
+            head = struct.pack("<BQQ", 0, 0, len(data))
+            crc = __import__("zlib").crc32(head + data)
+            frame = head + data + struct.pack("<I", crc)
+            try:
+                for byte in frame:
+                    raw.sendall(bytes([byte]))
+                    time.sleep(0.05)  # slower than the budget allows
+            except OSError:
+                pass
+            box["sent"] = True
+
+        thread = threading.Thread(target=_trickle, daemon=True)
+        thread.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(ChannelError, match="timed out"):
+                chan.recv()
+            elapsed = time.monotonic() - start
+            assert 0.3 < elapsed < 3.0, f"deadline not overall: {elapsed:.2f}s"
+        finally:
+            chan.abort()
+            raw.close()
+            thread.join(timeout=10)
+
+    def test_stall_injection_hook_matches_raw_damage(self):
+        """_inject_partial_frame (the 'stall' fault) surfaces the same way."""
+        server, client = _tcp_pair(timeout_s=0.5)
+        try:
+            data = serialization.encode(b"stalled protocol message")
+            server._inject_partial_frame(data, keep_fraction=0.5)
+            with pytest.raises(ChannelError, match="mid-frame|timed out"):
+                client.recv()
+        finally:
+            server.close()
+            client.close()
+
+
+class TestWildcardSession:
+    def test_client_adopts_server_assigned_id(self):
+        port = _free_port()
+        box = {}
+
+        def _serve():
+            box["server"] = tcp.listen(port, timeout_s=5.0, session_id=77)
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        client = tcp.connect(
+            "127.0.0.1", port, timeout_s=5.0, session_id=tcp.SESSION_ANY
+        )
+        thread.join(timeout=5)
+        server = box["server"]
+        try:
+            assert client.session_id == 77
+            assert server.session_id == 77
+            server.send(b"hi")
+            assert client.recv() == b"hi"
+        finally:
+            server.close()
+            client.close()
+
+    def test_concrete_mismatch_still_rejected(self):
+        """The wildcard must not weaken the explicit-id check."""
+        port = _free_port()
+
+        def _serve(box):
+            try:
+                box["server"] = tcp.listen(port, timeout_s=5.0, session_id=111)
+            except ChannelError as exc:
+                box["exc"] = exc
+
+        box = {}
+        threading.Thread(target=_serve, args=(box,), daemon=True).start()
+        with pytest.raises(HandshakeError, match="session"):
+            tcp.connect("127.0.0.1", port, timeout_s=5.0, session_id=222)
+
+
+class TestListener:
+    def test_accepts_multiple_sequential_peers(self):
+        with tcp.Listener(0) as listener:
+            for session_id in (1, 2, 3):
+                box = {}
+
+                def _serve():
+                    box["chan"] = listener.accept(timeout_s=5.0, session_id=session_id)
+
+                thread = threading.Thread(target=_serve, daemon=True)
+                thread.start()
+                client = tcp.connect(
+                    "127.0.0.1", listener.port,
+                    timeout_s=5.0, session_id=tcp.SESSION_ANY,
+                )
+                thread.join(timeout=5)
+                server = box["chan"]
+                try:
+                    assert client.session_id == session_id
+                    client.send(b"ping")
+                    assert server.recv() == b"ping"
+                finally:
+                    server.close()
+                    client.close()
+
+    def test_ephemeral_port_reported(self):
+        with tcp.Listener(0) as listener:
+            assert listener.port > 0
+
+    def test_accept_timeout_typed(self):
+        with tcp.Listener(0) as listener:
+            with pytest.raises(ChannelError, match="no client"):
+                listener.accept_socket(timeout_s=0.1)
+
+    def test_closed_listener_refuses_accept(self):
+        listener = tcp.Listener(0)
+        listener.close()
+        with pytest.raises(ChannelError, match="closed"):
+            listener.accept_socket(timeout_s=0.1)
+
+
 def _connect_raw(port, deadline_s=5.0):
     """Raw client socket that retries until the listener thread has bound."""
     deadline = time.monotonic() + deadline_s
