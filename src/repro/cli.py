@@ -97,6 +97,7 @@ def cmd_serve(args) -> int:
         capacity=max(args.rounds, 1),
         auto_replenish=args.replenish,
         seed=args.seed,
+        workers=args.workers,
     )
     if args.bank and os.path.exists(args.bank):
         loaded = bank.load(args.bank)
@@ -307,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--trace-dir", help="write one trace JSON per session here")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="offline generation worker threads (round material is "
+        "worker-count independent for a fixed --seed)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("predict", help="run the client party over TCP")

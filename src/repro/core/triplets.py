@@ -107,6 +107,115 @@ def _flat_coords(start: int, count: int, n: int, k_count: int) -> tuple[np.ndarr
 
 
 # --------------------------------------------------------------------- #
+# span workers: the chunk loops over one flat-index range of one radix
+# group.  The sequential generators below run them over [0, total); the
+# sharded execution engine (repro.exec.triplets) runs disjoint spans on
+# independent OT sessions — OT instances are independent, so a span's
+# contribution to U/V depends only on its own indices.
+# --------------------------------------------------------------------- #
+def server_group_span(
+    chan: Channel,
+    receiver: Kk13Receiver,
+    choices: np.ndarray,
+    config: TripletConfig,
+    n_values: int,
+    k_count: int,
+    start: int,
+    stop: int,
+    chunk: int,
+) -> np.ndarray:
+    """Process flat OTs ``[start, stop)`` of one group; returns partial U.
+
+    ``choices`` is the *full* flattened digit vector of the group, so
+    absolute flat indices keep addressing the right (i, j, k) triple.
+    """
+    ring = config.ring
+    mode = config.resolved_mode
+    width = (
+        packed_word_count(config.o, ring.bits)
+        if mode == "multi"
+        else packed_word_count(1, ring.bits)
+    )
+    u = ring.zeros((config.m, config.o))
+    for lo in range(start, stop, chunk):
+        hi = min(stop, lo + chunk)
+        batch = choices[lo:hi]
+        i_idx, _, _ = _flat_coords(lo, hi - lo, config.n, k_count)
+        if mode == "multi":
+            got = receiver.recv_chosen(batch, width, domain=_TRIPLET_DOMAIN)
+            values = unpack_ring_words(got, ring.bits, config.o)
+        else:
+            count = hi - lo
+            pad = receiver.pads(batch, width, domain=_TRIPLET_DOMAIN)
+            # Only the low l bits of the 64-bit pad are used.
+            pad_val = unpack_ring_words(pad, ring.bits, 1)[:, 0]
+            with channel_span(chan, "ot-transfer", m=count):
+                packed = chan.recv()
+            n_cipher = count * (n_values - 1)
+            if packed.shape != (packed_word_count(n_cipher, ring.bits),):
+                raise ProtocolError(
+                    f"unexpected one-batch cipher shape {packed.shape}"
+                )
+            cipher = unpack_ring_words(packed[None, :], ring.bits, n_cipher)
+            cipher = cipher.reshape(count, n_values - 1)
+            chosen = np.clip(batch - 1, 0, None)
+            opened = cipher[np.arange(count), chosen] ^ pad_val
+            values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
+        # bincount-based segment sum; np.add.at is a numpy slow path.
+        u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
+    return u
+
+
+def client_group_span(
+    chan: Channel,
+    sender: Kk13Sender,
+    value_table: np.ndarray,
+    r: np.ndarray,
+    config: TripletConfig,
+    n_values: int,
+    k_count: int,
+    start: int,
+    stop: int,
+    chunk: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Client counterpart of :func:`server_group_span`; returns partial V.
+
+    ``rng`` supplies the multi-batch share samples ``s`` — one generator
+    per span, consumed in chunk order, so a span's output is a pure
+    function of ``(rng state, value_table, r, start, stop, chunk)``.
+    """
+    ring = config.ring
+    mode = config.resolved_mode
+    v = ring.zeros((config.m, config.o))
+    for lo in range(start, stop, chunk):
+        hi = min(stop, lo + chunk)
+        count = hi - lo
+        i_idx, j_idx, k_pos = _flat_coords(lo, count, config.n, k_count)
+        vals = value_table[k_pos]  # (count, N)
+        r_rows = r[j_idx]  # (count, o)
+        products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
+        if mode == "multi":
+            s = ring.sample(rng, (count, config.o))
+            messages = ring.sub(products, s[:, None, :])
+            sender.send_chosen(
+                pack_ring_words(messages, ring.bits), domain=_TRIPLET_DOMAIN
+            )
+        else:
+            width = packed_word_count(1, ring.bits)
+            pads = sender.pads(count, width, domain=_TRIPLET_DOMAIN)
+            # The low-l-bit pads, slot 0's doubling as the share s_i.
+            pad_val = unpack_ring_words(pads, ring.bits, 1)[:, :, 0]  # (count, N)
+            s = pad_val[:, 0:1]
+            messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
+            cipher = messages ^ pad_val[:, 1:]
+            with channel_span(chan, "ot-transfer", m=count):
+                chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
+        v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
+    return v
+
+
+# --------------------------------------------------------------------- #
 # server: holds W, acts as OT receiver (choice = fragment digit)
 # --------------------------------------------------------------------- #
 def generate_triplets_server(
@@ -122,7 +231,6 @@ def generate_triplets_server(
     ring = config.ring
     digits = config.scheme.digits(w)  # (m, n, gamma)
     mode = config.resolved_mode
-    width = packed_word_count(config.o, ring.bits) if mode == "multi" else packed_word_count(1, ring.bits)
 
     u = ring.zeros((config.m, config.o))
     for n_values, k_list in config.radix_groups:
@@ -135,34 +243,13 @@ def generate_triplets_server(
                 chan, n_values, group=config.group, ro=config.ro, seed=group_seed
             )
             choices = digits[:, :, k_list].reshape(-1)
-            total = choices.shape[0]
-            chunk = config.chunk_size(n_values)
-            for start in range(0, total, chunk):
-                stop = min(total, start + chunk)
-                batch = choices[start:stop]
-                i_idx, _, _ = _flat_coords(start, stop - start, config.n, len(k_list))
-                if mode == "multi":
-                    got = receiver.recv_chosen(batch, width, domain=_TRIPLET_DOMAIN)
-                    values = unpack_ring_words(got, ring.bits, config.o)
-                else:
-                    count = stop - start
-                    pad = receiver.pads(batch, width, domain=_TRIPLET_DOMAIN)
-                    # Only the low l bits of the 64-bit pad are used.
-                    pad_val = unpack_ring_words(pad, ring.bits, 1)[:, 0]
-                    with channel_span(chan, "ot-transfer", m=count):
-                        packed = chan.recv()
-                    n_cipher = count * (n_values - 1)
-                    if packed.shape != (packed_word_count(n_cipher, ring.bits),):
-                        raise ProtocolError(
-                            f"unexpected one-batch cipher shape {packed.shape}"
-                        )
-                    cipher = unpack_ring_words(packed[None, :], ring.bits, n_cipher)
-                    cipher = cipher.reshape(count, n_values - 1)
-                    chosen = np.clip(batch - 1, 0, None)
-                    opened = cipher[np.arange(count), chosen] ^ pad_val
-                    values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
-                # bincount-based segment sum; np.add.at is a numpy slow path.
-                u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
+            u = ring.add(
+                u,
+                server_group_span(
+                    chan, receiver, choices, config, n_values, len(k_list),
+                    0, choices.shape[0], config.chunk_size(n_values),
+                ),
+            )
     return ring.reduce(u)
 
 
@@ -198,29 +285,11 @@ def generate_triplets_client(
                 np.stack([config.scheme.values(k) for k in k_list])
             )  # (|K|, N)
             total = config.m * config.n * len(k_list)
-            chunk = config.chunk_size(n_values)
-            for start in range(0, total, chunk):
-                stop = min(total, start + chunk)
-                count = stop - start
-                i_idx, j_idx, k_pos = _flat_coords(start, count, config.n, len(k_list))
-                vals = value_table[k_pos]  # (count, N)
-                r_rows = r[j_idx]  # (count, o)
-                products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
-                if mode == "multi":
-                    s = ring.sample(rng, (count, config.o))
-                    messages = ring.sub(products, s[:, None, :])
-                    sender.send_chosen(
-                        pack_ring_words(messages, ring.bits), domain=_TRIPLET_DOMAIN
-                    )
-                else:
-                    width = packed_word_count(1, ring.bits)
-                    pads = sender.pads(count, width, domain=_TRIPLET_DOMAIN)
-                    # The low-l-bit pads, slot 0's doubling as the share s_i.
-                    pad_val = unpack_ring_words(pads, ring.bits, 1)[:, :, 0]  # (count, N)
-                    s = pad_val[:, 0:1]
-                    messages = ring.sub(products[:, 1:, 0], s)  # (count, N-1)
-                    cipher = messages ^ pad_val[:, 1:]
-                    with channel_span(chan, "ot-transfer", m=count):
-                        chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
-                v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
+            v = ring.add(
+                v,
+                client_group_span(
+                    chan, sender, value_table, r, config, n_values, len(k_list),
+                    0, total, config.chunk_size(n_values), rng,
+                ),
+            )
     return ring.reduce(v)

@@ -53,6 +53,22 @@ _ALL_ONES = _U64(0xFFFFFFFFFFFFFFFF)
 KAPPA = 128
 _KAPPA_WORDS = KAPPA // 64
 
+#: Sub-session tags get the top 16 bits of the 64-bit OT-index tweak, so
+#: concurrent sharded sessions (see :mod:`repro.exec`) can never collide
+#: in the random-oracle tweak space even if they were (mis)configured
+#: with identical base-OT keys.  48 bits of per-session OT counter is
+#: far beyond any batch this stack will run.
+MAX_SESSION_TAG = (1 << 16) - 1
+_SESSION_TAG_SHIFT = 48
+
+
+def _session_base_index(session_tag: int) -> int:
+    """Starting ``_ot_index`` for a sub-session tag (0 = the default domain)."""
+    tag = int(session_tag)
+    if not 0 <= tag <= MAX_SESSION_TAG:
+        raise CryptoError(f"session_tag must be in [0, {MAX_SESSION_TAG}], got {tag}")
+    return tag << _SESSION_TAG_SHIFT
+
 
 def _rows_with_index(packed_rows: np.ndarray, start_index: int) -> np.ndarray:
     """Append the global OT index as an extra hash-input word per row."""
@@ -88,6 +104,7 @@ class OtExtSender:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        session_tag: int = 0,
     ) -> None:
         if kappa % 64 != 0:
             raise CryptoError("kappa must be a multiple of 64")
@@ -98,7 +115,7 @@ class OtExtSender:
         self._rng = make_rng(seed)
         self._s_bits: np.ndarray | None = None
         self._prg: BatchPrg | None = None
-        self._ot_index = 0
+        self._ot_index = _session_base_index(session_tag)
 
     # ------------------------------------------------------------------ #
     def _ensure_setup(self) -> None:
@@ -196,6 +213,7 @@ class OtExtReceiver:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        session_tag: int = 0,
     ) -> None:
         if kappa % 64 != 0:
             raise CryptoError("kappa must be a multiple of 64")
@@ -206,7 +224,7 @@ class OtExtReceiver:
         self._rng = make_rng(seed)
         self._prg0: BatchPrg | None = None
         self._prg1: BatchPrg | None = None
-        self._ot_index = 0
+        self._ot_index = _session_base_index(session_tag)
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)

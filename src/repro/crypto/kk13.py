@@ -22,7 +22,7 @@ import numpy as np
 from repro.crypto import baseot, codes
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.crypto.iknp import _checked_u_blob, _rows_with_index
+from repro.crypto.iknp import _checked_u_blob, _rows_with_index, _session_base_index
 from repro.crypto.prg import BatchPrg
 from repro.errors import CryptoError
 from repro.net.channel import Channel
@@ -53,6 +53,7 @@ class Kk13Sender:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        session_tag: int = 0,
     ) -> None:
         if not 2 <= n_values <= codes.MAX_N:
             raise CryptoError(f"N must be in [2, {codes.MAX_N}], got {n_values}")
@@ -64,7 +65,7 @@ class Kk13Sender:
         self._code_words = codes.codeword_words(n_values)
         self._s_bits: np.ndarray | None = None
         self._prg: BatchPrg | None = None
-        self._ot_index = 0
+        self._ot_index = _session_base_index(session_tag)
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)
@@ -143,6 +144,7 @@ class Kk13Receiver:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        session_tag: int = 0,
     ) -> None:
         if not 2 <= n_values <= codes.MAX_N:
             raise CryptoError(f"N must be in [2, {codes.MAX_N}], got {n_values}")
@@ -159,7 +161,7 @@ class Kk13Receiver:
         self._code_col_idx = [np.nonzero(code_bits[v])[0] for v in range(n_values)]
         self._prg0: BatchPrg | None = None
         self._prg1: BatchPrg | None = None
-        self._ot_index = 0
+        self._ot_index = _session_base_index(session_tag)
 
     def _randbelow(self, bound: int) -> int:
         return randbelow_from_rng(self._rng, bound)

@@ -1,0 +1,82 @@
+"""Worker pool and per-shard randomness for the execution engine."""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def shard_entropy(
+    seed: int | None, shards: int
+) -> list[tuple[int | None, np.random.Generator]]:
+    """Per-shard ``(ot_seed, rng)`` pairs spawned from one master seed.
+
+    Uses ``SeedSequence.spawn`` (the Philox-backed numpy seeding tree):
+    shard ``s`` always receives children ``2s`` (OT session seed) and
+    ``2s + 1`` (share-sampling generator) regardless of how many workers
+    execute the shards — the determinism contract of :mod:`repro.exec`.
+    With ``seed=None`` every shard gets fresh OS entropy.
+    """
+    if shards < 1:
+        raise ConfigError("shards must be positive")
+    if seed is None:
+        return [(None, np.random.default_rng()) for _ in range(shards)]
+    children = np.random.SeedSequence(seed).spawn(2 * shards)
+    out = []
+    for s in range(shards):
+        ot_seed = int(children[2 * s].generate_state(1, np.uint64)[0])
+        out.append((ot_seed, np.random.default_rng(children[2 * s + 1])))
+    return out
+
+
+def run_sharded(tasks: Sequence[Callable[[], object]], workers: int) -> list:
+    """Run ``tasks`` on at most ``workers`` threads; results in task order.
+
+    ``workers <= 1`` degrades to a plain sequential loop on the calling
+    thread — zero thread overhead, the engine's synchronous baseline.
+    The first task exception cancels the not-yet-started remainder and
+    re-raises after all started tasks have joined, so no worker thread
+    outlives the call (the leak tests pin this).
+    """
+    if workers < 1:
+        raise ConfigError("workers must be positive")
+    tasks = list(tasks)
+    if workers == 1 or len(tasks) <= 1:
+        return [fn() for fn in tasks]
+
+    results: list = [None] * len(tasks)
+    errors: list[BaseException] = []
+    pending: queue.SimpleQueue = queue.SimpleQueue()
+    for idx in range(len(tasks)):
+        pending.put(idx)
+
+    def _worker() -> None:
+        while True:
+            try:
+                idx = pending.get_nowait()
+            except queue.Empty:
+                return
+            if errors:
+                return
+            try:
+                results[idx] = tasks[idx]()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+                return
+
+    threads = [
+        threading.Thread(target=_worker, name=f"abnn2-exec-{i}", daemon=True)
+        for i in range(min(workers, len(tasks)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return results

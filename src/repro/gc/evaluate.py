@@ -12,7 +12,7 @@ import numpy as np
 from repro.crypto.hash_ro import RandomOracle, default_ro
 from repro.errors import CryptoError, ProtocolError
 from repro.gc.circuit import Circuit, GateOp
-from repro.gc.garble import LABEL_WORDS, _hash_labels
+from repro.gc.garble import LABEL_WORDS, _check_poison, _label_buffer, _LabelHasher
 
 _U64 = np.uint64
 
@@ -40,10 +40,11 @@ def evaluate(
             f"expected {circuit.and_count} garbled tables, got {tables.shape[0]}"
         )
 
-    active = np.zeros((circuit.n_wires, n_inst, LABEL_WORDS), dtype=_U64)
+    active = _label_buffer((circuit.n_wires, n_inst, LABEL_WORDS))
     active[circuit.garbler_inputs] = garbler_labels
     active[circuit.evaluator_inputs] = evaluator_labels
 
+    hasher = _LabelHasher(n_inst, ro)
     and_idx = 0
     for g_idx, gate in enumerate(circuit.gates):
         if gate.op == GateOp.XOR:
@@ -57,14 +58,16 @@ def evaluate(
             s_b = (w_b[:, 0] & _U64(1)).astype(bool)
             t_g = tables[and_idx, :, 0]
             t_e = tables[and_idx, :, 1]
-            w_g = _hash_labels(w_a, 2 * g_idx, ro) ^ np.where(s_a[:, None], t_g, _U64(0))
-            w_e = _hash_labels(w_b, 2 * g_idx + 1, ro) ^ np.where(
+            w_g = hasher(w_a, 2 * g_idx) ^ np.where(s_a[:, None], t_g, _U64(0))
+            w_e = hasher(w_b, 2 * g_idx + 1) ^ np.where(
                 s_b[:, None], t_e ^ w_a, _U64(0)
             )
             active[gate.out] = w_g ^ w_e
             and_idx += 1
 
-    return active[circuit.outputs].copy()
+    out = active[circuit.outputs].copy()
+    _check_poison(out, "output")
+    return out
 
 
 def decode_outputs(output_labels: np.ndarray, decode_bits: np.ndarray) -> np.ndarray:

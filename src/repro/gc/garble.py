@@ -13,6 +13,7 @@ vectorized pass, which is how ABNN2 garbles a whole ReLU layer.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,17 +26,74 @@ _U64 = np.uint64
 LABEL_WORDS = 2
 _DOMAIN_GC = 7
 
+#: Debug poison for the np.empty label buffers below: with
+#: ``ABNN2_GC_DEBUG=1`` buffers are pre-filled with this word and the
+#: output wires are checked against it after garbling/evaluation, so a
+#: wire the gate loop failed to write is caught instead of silently
+#: garbling garbage.  (A genuine label colliding with the poison on both
+#: words has probability 2^-128 per wire.)
+_POISON_WORD = _U64(0xDEAD_BEEF_DEAD_BEEF)
+
+
+def _debug_poison_enabled() -> bool:
+    return os.environ.get("ABNN2_GC_DEBUG", "") == "1"
+
+
+def _label_buffer(shape: tuple[int, ...]) -> np.ndarray:
+    """Uninitialized label tensor; poisoned when GC debug mode is on.
+
+    Every slot is written before it is read (inputs by the rng block,
+    everything else by its gate), so zeroing megabytes per layer was
+    pure overhead.
+    """
+    buf = np.empty(shape, dtype=_U64)
+    if _debug_poison_enabled():
+        buf[...] = _POISON_WORD
+    return buf
+
+
+def _check_poison(labels: np.ndarray, what: str) -> None:
+    """Raise if any label row is still the debug poison pattern."""
+    if not _debug_poison_enabled():
+        return
+    if bool((labels == _POISON_WORD).all(axis=-1).any()):
+        raise CryptoError(f"unwritten {what} label: wire never assigned by a gate")
+
+
+class _LabelHasher:
+    """H(label, tweak) with the per-call scratch hoisted out of the loop.
+
+    ``_hash_labels`` is called four times per AND gate while garbling
+    and twice while evaluating; reallocating the ``(n_inst, 4)`` hash
+    input block and re-materializing the ``arange`` tweak column each
+    call dominated small-circuit garbling.  One instance owns both for a
+    whole execution (``ro.mask`` never retains or mutates its input).
+    """
+
+    __slots__ = ("ro", "_rows")
+
+    def __init__(self, n_inst: int, ro: RandomOracle) -> None:
+        self.ro = ro
+        self._rows = np.empty((n_inst, LABEL_WORDS + 2), dtype=_U64)
+        self._rows[:, LABEL_WORDS + 1] = np.arange(n_inst, dtype=_U64)
+
+    def __call__(self, labels: np.ndarray, gate_half: int) -> np.ndarray:
+        rows = self._rows
+        rows[:, :LABEL_WORDS] = labels
+        rows[:, LABEL_WORDS] = _U64(gate_half)
+        return self.ro.mask(rows, LABEL_WORDS, domain=_DOMAIN_GC)
+
 
 def _hash_labels(
     labels: np.ndarray, gate_half: int, ro: RandomOracle
 ) -> np.ndarray:
-    """H(label, tweak) for a (n_inst, 2) label block -> (n_inst, 2)."""
-    n_inst = labels.shape[0]
-    rows = np.empty((n_inst, LABEL_WORDS + 2), dtype=_U64)
-    rows[:, :LABEL_WORDS] = labels
-    rows[:, LABEL_WORDS] = _U64(gate_half)
-    rows[:, LABEL_WORDS + 1] = np.arange(n_inst, dtype=_U64)
-    return ro.mask(rows, LABEL_WORDS, domain=_DOMAIN_GC)
+    """H(label, tweak) for a (n_inst, 2) label block -> (n_inst, 2).
+
+    One-shot form of :class:`_LabelHasher`, kept for callers that hash a
+    single block (tests, exploratory code); the gate loops below use the
+    hoisted hasher.
+    """
+    return _LabelHasher(labels.shape[0], ro)(labels, gate_half)
 
 
 @dataclass
@@ -74,7 +132,7 @@ def garble(
     if n_inst < 1:
         raise CryptoError("need at least one instance")
     n_wires = circuit.n_wires
-    label0 = np.zeros((n_wires, n_inst, LABEL_WORDS), dtype=_U64)
+    label0 = _label_buffer((n_wires, n_inst, LABEL_WORDS))
     offset = rng.integers(0, 1 << 63, size=LABEL_WORDS, dtype=_U64)
     offset = (offset << _U64(1)) | rng.integers(0, 2, size=LABEL_WORDS, dtype=_U64)
     offset[0] |= _U64(1)  # lsb(R) = 1: point-and-permute select bits work
@@ -87,7 +145,8 @@ def garble(
     label0[input_wires] = raw
 
     n_and = circuit.and_count
-    tables = np.zeros((n_and, n_inst, 2, LABEL_WORDS), dtype=_U64)
+    tables = _label_buffer((n_and, n_inst, 2, LABEL_WORDS))
+    hasher = _LabelHasher(n_inst, ro)
     and_idx = 0
     for g_idx, gate in enumerate(circuit.gates):
         if gate.op == GateOp.XOR:
@@ -102,10 +161,10 @@ def garble(
             p_a = (a0[:, 0] & _U64(1)).astype(bool)
             p_b = (b0[:, 0] & _U64(1)).astype(bool)
 
-            h_a0 = _hash_labels(a0, 2 * g_idx, ro)
-            h_a1 = _hash_labels(a1, 2 * g_idx, ro)
-            h_b0 = _hash_labels(b0, 2 * g_idx + 1, ro)
-            h_b1 = _hash_labels(b1, 2 * g_idx + 1, ro)
+            h_a0 = hasher(a0, 2 * g_idx)
+            h_a1 = hasher(a1, 2 * g_idx)
+            h_b0 = hasher(b0, 2 * g_idx + 1)
+            h_b1 = hasher(b1, 2 * g_idx + 1)
 
             # Garbler half gate.
             t_g = h_a0 ^ h_a1 ^ np.where(p_b[:, None], offset[None, :], _U64(0))
@@ -119,4 +178,5 @@ def garble(
             tables[and_idx, :, 1] = t_e
             and_idx += 1
 
+    _check_poison(label0[circuit.outputs], "output")
     return GarbledCircuit(circuit=circuit, n_inst=n_inst, tables=tables, label0=label0, offset=offset)

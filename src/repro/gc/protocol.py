@@ -45,6 +45,7 @@ class GcSessions:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        session_tag: int = 0,
     ) -> None:
         if role not in ("garbler", "evaluator"):
             raise ProtocolError(f"unknown GC role {role!r}")
@@ -53,15 +54,22 @@ class GcSessions:
         self.group = group
         self.ro = ro
         self._seed = seed
+        self._session_tag = session_tag
         self._ot = None
 
     @property
     def ot(self):
         if self._ot is None:
             if self.role == "garbler":
-                self._ot = OtExtSender(self.chan, group=self.group, ro=self.ro, seed=self._seed)
+                self._ot = OtExtSender(
+                    self.chan, group=self.group, ro=self.ro, seed=self._seed,
+                    session_tag=self._session_tag,
+                )
             else:
-                self._ot = OtExtReceiver(self.chan, group=self.group, ro=self.ro, seed=self._seed)
+                self._ot = OtExtReceiver(
+                    self.chan, group=self.group, ro=self.ro, seed=self._seed,
+                    session_tag=self._session_tag,
+                )
         return self._ot
 
 

@@ -1,4 +1,4 @@
-"""Analytic LAN/WAN wall-clock model.
+"""Analytic LAN/WAN wall-clock model, plus an executable shaped link.
 
 The paper shapes traffic with Linux ``tc`` between two machines; we run
 both parties in one process and *compute* the network's contribution from
@@ -7,6 +7,19 @@ measured traffic instead:
     time = compute_seconds * compute_scale
          + total_bytes / bandwidth
          + rounds * rtt
+
+The analytic model prices a *sequential* protocol.  The execution engine
+(:mod:`repro.exec`) overlaps compute with the wire, which an analytic
+sum cannot capture — so this module also provides
+:class:`ShapedChannel`, a wrapper that realizes the same two link
+parameters as actual wall time: every send occupies its direction of the
+link for ``nbytes / bandwidth`` seconds (a shared per-direction busy
+accumulator — concurrent streams queue behind each other exactly like
+packets on one NIC), and the receiver may not observe a message before
+``departure + rtt/2``.  Sends never block (an unbounded send buffer);
+receives sleep until the arrival deadline.  Both endpoints must live in
+one process (the shaper state is shared), which is how every benchmark
+in this repo runs.
 
 ``compute_scale`` maps measured Python compute onto the paper's C++/ABY
 testbed.  The default of 1.0 reports honest Python time; benchmarks that
@@ -24,10 +37,15 @@ The concrete link profiles below are the ones the paper names:
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigError
-from repro.net.channel import ChannelStats
+from repro.net.channel import DEFAULT_TIMEOUT_S, ChannelStats, make_channel_pair
+from repro.utils import serialization
 
 
 @dataclass(frozen=True)
@@ -88,3 +106,109 @@ WAN_SECUREML = NetworkModel("WAN-9MBps-72ms", bandwidth_bytes_per_s=9 * MB, rtt_
 
 #: Tables 4/5's WAN setting (same as QUOTIENT): 24.3 MB/s, 40 ms RTT.
 WAN_QUOTIENT = NetworkModel("WAN-24.3MBps-40ms", bandwidth_bytes_per_s=24.3 * MB, rtt_s=0.040)
+
+
+# --------------------------------------------------------------------- #
+# executable link: sleeps instead of arithmetic
+# --------------------------------------------------------------------- #
+class LinkShaper:
+    """Shared state of one shaped point-to-point link.
+
+    Full duplex: each direction has its own serialization queue (busy
+    accumulator).  ``reserve`` books ``nbytes`` of transfer on one
+    direction and returns the absolute ``time.monotonic()`` instant at
+    which the message becomes visible at the far end (departure of its
+    last byte plus one-way propagation).
+    """
+
+    def __init__(self, model: NetworkModel) -> None:
+        self.model = model
+        self._busy_until = [0.0, 0.0]
+        self._lock = threading.Lock()
+        #: FIFO arrival deadlines per direction; the underlying channel
+        #: is FIFO too, so deadlines pair up with frames positionally.
+        self.arrivals: tuple[deque, deque] = (deque(), deque())
+
+    def reserve(self, direction: int, nbytes: int) -> float:
+        now = time.monotonic()
+        with self._lock:
+            start = max(now, self._busy_until[direction])
+            done = start + self.model.transfer_time_s(nbytes)
+            self._busy_until[direction] = done
+        return done + self.model.rtt_s / 2.0
+
+
+class ShapedChannel:
+    """Channel wrapper that turns link parameters into real wall time.
+
+    Wraps one endpoint of an in-process pair (same wrapper idiom as
+    :class:`repro.net.faults.FaultyChannel`).  Serialization delay is
+    charged on the *payload* bytes — the figure the paper's communication
+    columns count — at send time; the matching ``recv`` sleeps until the
+    arrival deadline.  All accounting (stats, tracer, seq/CRC framing)
+    stays on the wrapped channel untouched.
+    """
+
+    def __init__(self, inner: Any, shaper: LinkShaper, direction: int) -> None:
+        self._inner = inner
+        self._shaper = shaper
+        self._direction = direction
+
+    @property
+    def party(self) -> int:
+        return self._inner.party
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @property
+    def tracer(self):
+        return self._inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._inner.tracer = value
+
+    @property
+    def timeout_s(self) -> float:
+        return self._inner.timeout_s
+
+    def send(self, obj: Any) -> None:
+        arrival = self._shaper.reserve(
+            self._direction, serialization.payload_nbytes(obj)
+        )
+        # Deadline first, then the frame: the peer can never observe a
+        # frame whose deadline is not already queued.
+        self._shaper.arrivals[self._direction].append(arrival)
+        self._inner.send(obj)
+
+    def recv(self) -> Any:
+        obj = self._inner.recv()
+        arrivals = self._shaper.arrivals[1 - self._direction]
+        delay = arrivals.popleft() - time.monotonic() if arrivals else 0.0
+        if delay > 0:
+            time.sleep(delay)
+        return obj
+
+    def exchange(self, obj: Any) -> Any:
+        self.send(obj)
+        return self.recv()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __repr__(self) -> str:
+        return f"ShapedChannel({self._inner!r}, link={self._shaper.model.name})"
+
+
+def shaped_channel_pair(
+    model: NetworkModel, timeout_s: float = DEFAULT_TIMEOUT_S
+) -> tuple[ShapedChannel, ShapedChannel]:
+    """A connected in-memory (server, client) pair over a shaped link."""
+    server, client = make_channel_pair(timeout_s=timeout_s)
+    shaper = LinkShaper(model)
+    return (
+        ShapedChannel(server, shaper, direction=0),
+        ShapedChannel(client, shaper, direction=1),
+    )

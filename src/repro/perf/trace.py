@@ -201,6 +201,34 @@ class Tracer:
         """The innermost open span (the root if none is open)."""
         return self._stack[-1]
 
+    def adopt(self, child: "Tracer", name: str, **attrs: Any) -> Span:
+        """Graft another tracer's span tree as one closed child span.
+
+        A tracer is single-threaded, so the execution engine gives each
+        shard worker its *own* tracer (attached to that shard's mux
+        stream) and, after joining the workers, adopts the shard trees
+        here in shard order.  The adopted span keeps the shard tracer's
+        wall clock (creation to adoption) and root counters; ``attrs``
+        overlay the shard root's attributes.
+        """
+        root = child.root
+        now = child._clock()
+        span = Span(name, {**root.attrs, **attrs}, parent=self._stack[-1])
+        span.start_s = root.start_s
+        span.duration_s = (
+            root.duration_s if root.duration_s is not None else now - root.start_s
+        )
+        span.sent_bytes = root.sent_bytes
+        span.recv_bytes = root.recv_bytes
+        span.sent_msgs = root.sent_msgs
+        span.recv_msgs = root.recv_msgs
+        span.rounds = root.rounds
+        for sub in root.children:
+            sub.parent = span
+        span.children = list(root.children)
+        self._stack[-1].children.append(span)
+        return span
+
     def annotate(self, **attrs: Any) -> None:
         """Merge attributes into the root span.
 

@@ -79,6 +79,9 @@ def x2(qmodel):
 def _bank(qmodel, test_group, *, rounds=0, batch=2, **kwargs):
     kwargs.setdefault("auto_replenish", False)
     kwargs.setdefault("seed", 11)
+    # CI's serve-soak job sets this to 2 so the whole serving suite runs
+    # against a parallel replenisher; material is identical either way.
+    kwargs.setdefault("workers", int(os.environ.get("ABNN2_SERVE_WORKERS", "1")))
     bank = TripletBank(qmodel, batch, group=test_group, **kwargs)
     if rounds:
         bank.fill(rounds)
@@ -186,6 +189,32 @@ class TestBank:
             first.client_material["input_mask"]
             != second.client_material["input_mask"]
         ).any()
+
+    def test_worker_count_independent_material(self, qmodel, test_group):
+        """workers is a local knob: the banked material for a fixed seed
+        is byte-identical whether rounds are generated serially or by a
+        thread pool (per-round seeds derive from claimed generation
+        indices, not from scheduling)."""
+
+        def _deep_equal(a, b):
+            if isinstance(a, np.ndarray):
+                return isinstance(b, np.ndarray) and a.dtype == b.dtype and (a == b).all()
+            if isinstance(a, dict):
+                return set(a) == set(b) and all(_deep_equal(a[k], b[k]) for k in a)
+            if isinstance(a, (list, tuple)):
+                return len(a) == len(b) and all(
+                    _deep_equal(x, y) for x, y in zip(a, b)
+                )
+            return a == b
+
+        serial = _bank(qmodel, test_group, rounds=3, workers=1)
+        pooled = _bank(qmodel, test_group, rounds=3, workers=2)
+        for _ in range(3):
+            one, two = serial.take(), pooled.take()
+            assert one.round_id == two.round_id
+            assert _deep_equal(one.server_us, two.server_us)
+            assert _deep_equal(one.client_material, two.client_material)
+        _assert_no_leaked_serve_threads()
 
     def test_invalid_config_rejected(self, qmodel, test_group):
         with pytest.raises(ConfigError):
