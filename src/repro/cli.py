@@ -90,6 +90,10 @@ def cmd_serve(args) -> int:
 
     from repro.serve import PredictionServer, TripletBank
 
+    from repro.crypto.hash_ro import default_ro, get_ro
+
+    executor = args.executor or os.environ.get("ABNN2_EXECUTOR", "thread")
+    ro_name = args.ro or os.environ.get("ABNN2_RO")
     qmodel = load_model(args.model)
     bank = TripletBank(
         qmodel,
@@ -98,6 +102,8 @@ def cmd_serve(args) -> int:
         auto_replenish=args.replenish,
         seed=args.seed,
         workers=args.workers,
+        executor=executor,
+        ro=get_ro(ro_name) if ro_name else default_ro,
     )
     if args.bank and os.path.exists(args.bank):
         loaded = bank.load(args.bank)
@@ -115,6 +121,7 @@ def cmd_serve(args) -> int:
     server = PredictionServer(
         qmodel,
         bank,
+        ro=bank.ro,
         port=args.port,
         host=args.host,
         max_sessions=args.max_sessions,
@@ -156,8 +163,12 @@ def cmd_serve(args) -> int:
 
 
 def cmd_predict(args) -> int:
+    import os
+
+    from repro.crypto.hash_ro import default_ro, get_ro
     from repro.serve import PredictionClient
 
+    ro_name = args.ro or os.environ.get("ABNN2_RO")
     meta = load_meta(args.meta)
     if args.demo is not None:
         data = synthetic_mnist()
@@ -182,6 +193,7 @@ def cmd_predict(args) -> int:
         relu_variant=args.relu,
         timeout_s=args.timeout,
         seed=args.seed,
+        ro=get_ro(ro_name) if ro_name else default_ro,
     )
     try:
         print(f"connected (session {client.session_id}, mode={args.mode})...")
@@ -310,8 +322,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-dir", help="write one trace JSON per session here")
     p.add_argument(
         "--workers", type=int, default=1,
-        help="offline generation worker threads (round material is "
-        "worker-count independent for a fixed --seed)",
+        help="offline generation workers (round material is worker-count "
+        "independent for a fixed --seed)",
+    )
+    p.add_argument(
+        "--executor", default=None, choices=("thread", "process"),
+        help="offline generation executor: 'thread' shares the serving "
+        "process's GIL, 'process' runs each round's self-play in a worker "
+        "process (default: $ABNN2_EXECUTOR or thread)",
+    )
+    p.add_argument(
+        "--ro", default=None, choices=("sha256", "siphash", "fast"),
+        help="random-oracle backend for offline generation; 'fast' is "
+        "byte-identical to 'siphash' with a GIL-releasing execution "
+        "profile (default: $ABNN2_RO or the library default)",
     )
     p.set_defaults(func=cmd_serve)
 
@@ -334,6 +358,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=600.0)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--trace-out", help="write this party's trace JSON after the run")
+    p.add_argument(
+        "--ro", default=None, choices=("sha256", "siphash", "fast"),
+        help="random-oracle backend; must be mask-compatible with the "
+        "server's ('fast' and 'siphash' are interchangeable; default: "
+        "$ABNN2_RO or the library default)",
+    )
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser(

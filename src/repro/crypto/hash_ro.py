@@ -68,22 +68,23 @@ class RandomOracle:
 
 def _sha256_mask(rows: np.ndarray, out_words: int, domain: int) -> np.ndarray:
     lead = rows.shape[:-1]
-    flat = rows.reshape(-1, rows.shape[-1])
-    out = np.empty((flat.shape[0], out_words), dtype=_U64)
+    flat = np.ascontiguousarray(rows.reshape(-1, rows.shape[-1]))
     dom = domain.to_bytes(8, "little")
-    for i, row in enumerate(flat):
-        stream = bytearray()
-        counter = 0
-        row_bytes = row.tobytes()
-        while len(stream) < 8 * out_words:
-            h = hashlib.sha256()
-            h.update(dom)
-            h.update(counter.to_bytes(8, "little"))
-            h.update(row_bytes)
-            stream.extend(h.digest())
-            counter += 1
-        out[i] = np.frombuffer(bytes(stream[: 8 * out_words]), dtype=_U64)
-    return out.reshape(lead + (out_words,))
+    # One digest yields four output words; precompute the counter prefixes
+    # and emit each row's counter-mode stream with one-shot sha256 calls
+    # (identical bytes to the incremental-update loop this replaces).
+    n_hashes = (out_words + 3) // 4
+    prefixes = [dom + c.to_bytes(8, "little") for c in range(n_hashes)]
+    sha256 = hashlib.sha256
+    row_bytes = flat.tobytes()
+    stride = flat.shape[-1] * 8
+    stream = b"".join(
+        sha256(prefix + row_bytes[off : off + stride]).digest()
+        for off in range(0, len(row_bytes), stride)
+        for prefix in prefixes
+    )
+    out = np.frombuffer(stream, dtype=_U64).reshape(flat.shape[0], n_hashes * 4)
+    return np.ascontiguousarray(out[:, :out_words]).reshape(lead + (out_words,))
 
 
 def _siphash_mask(rows: np.ndarray, out_words: int, domain: int) -> np.ndarray:
@@ -98,3 +99,28 @@ siphash_ro = RandomOracle("siphash24", _siphash_mask)
 
 #: The backend protocol code uses unless told otherwise.
 default_ro = siphash_ro
+
+
+def get_ro(name: str) -> RandomOracle:
+    """Resolve a backend by registry name.
+
+    ``"fast"`` is the execution-optimized SipHash implementation in
+    :mod:`repro.crypto.fastro` — the *same function* as ``"siphash"``
+    (byte-identical masks, hence byte-identical shares and transcripts),
+    so the two may even differ between the parties; ``"sha256"`` is the
+    conservative reference and is **not** mask-compatible with them.
+    """
+    if name in ("sha256", "sha-256"):
+        return sha256_ro
+    if name in ("siphash", "siphash24"):
+        return siphash_ro
+    if name in ("fast", "siphash24-fast"):
+        from repro.crypto.fastro import fast_ro
+
+        return fast_ro
+    if name == "default":
+        return default_ro
+    raise CryptoError(
+        f"unknown random-oracle backend {name!r} "
+        "(expected sha256 | siphash | fast | default)"
+    )

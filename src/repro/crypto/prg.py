@@ -98,6 +98,13 @@ def expand_to_bits(seed_bytes: bytes, count: int) -> np.ndarray:
 # --------------------------------------------------------------------- #
 _SH32 = _U64(32)
 
+#: Soft cap on Philox counter blocks generated per internal step: bounds
+#: the round-state scratch of one :func:`_philox_blocks` call (six
+#: ``(K, B)`` buffers) and keeps individual GIL-holding numpy ops short
+#: enough that shard threads can interleave.  4096 blocks at the OT
+#: sessions' K=256 keys is ~50 MiB of scratch.
+_PHILOX_BLOCK_STEP = 4096
+
 
 def _mulhi_into(
     a_lo: np.uint64,
@@ -201,6 +208,26 @@ def _philox_blocks(key0: np.ndarray, key1: np.ndarray, counters: np.ndarray) -> 
     return np.stack([x0, x1, x2, x3], axis=-1).reshape(k, b * 4)
 
 
+def _philox_blocks_chunked(
+    key0: np.ndarray, key1: np.ndarray, counters: np.ndarray
+) -> np.ndarray:
+    """:func:`_philox_blocks` in bounded counter steps (identical output).
+
+    Counter-mode output depends only on the counter values, so splitting
+    one big request into steps and writing each step's words into the
+    preallocated result is bit-identical to the single-shot call while
+    keeping peak scratch flat and yielding the GIL between steps.
+    """
+    b = counters.shape[0]
+    if b <= _PHILOX_BLOCK_STEP:
+        return _philox_blocks(key0, key1, counters)
+    out = np.empty((key0.shape[0], b * 4), dtype=_U64)
+    for lo in range(0, b, _PHILOX_BLOCK_STEP):
+        hi = min(b, lo + _PHILOX_BLOCK_STEP)
+        out[:, 4 * lo : 4 * hi] = _philox_blocks(key0, key1, counters[lo:hi])
+    return out
+
+
 class BatchPrg:
     """All column PRGs of an OT-extension session, expanded in one shot.
 
@@ -260,7 +287,7 @@ class BatchPrg:
             counters = np.arange(
                 self._drawn64 // 4 + 1, (self._drawn64 + n64) // 4 + 1, dtype=_U64
             )
-            out = _philox_blocks(self._key0, self._key1, counters)
+            out = _philox_blocks_chunked(self._key0, self._key1, counters)
             self._drawn64 += n64
             return out
         buf = np.zeros((k, words * 8), dtype=np.uint8)
@@ -275,7 +302,7 @@ class BatchPrg:
             b0 = self._drawn64 // 4
             b1 = (self._drawn64 + n64 - 1) // 4
             counters = np.arange(b0 + 1, b1 + 2, dtype=_U64)
-            flat = _philox_blocks(self._key0, self._key1, counters)
+            flat = _philox_blocks_chunked(self._key0, self._key1, counters)
             off = self._drawn64 - 4 * b0
             u64s = np.ascontiguousarray(flat[:, off : off + n64])
             need = nbytes - pos

@@ -34,23 +34,43 @@ def shard_entropy(
     return out
 
 
-def run_sharded(tasks: Sequence[Callable[[], object]], workers: int) -> list:
+def run_sharded(
+    tasks: Sequence[Callable[[], object]],
+    workers: int,
+    on_error: Callable[[BaseException], None] | None = None,
+) -> list:
     """Run ``tasks`` on at most ``workers`` threads; results in task order.
 
     ``workers <= 1`` degrades to a plain sequential loop on the calling
     thread — zero thread overhead, the engine's synchronous baseline.
-    The first task exception cancels the not-yet-started remainder and
-    re-raises after all started tasks have joined, so no worker thread
-    outlives the call (the leak tests pin this).
+
+    Failure contract: the first task exception **drains** the queue of
+    not-yet-started tasks (so no worker can pick up a doomed shard after
+    the failure lands, not even one that was mid-``get``), fires
+    ``on_error`` once (the execution engine passes ``ChannelMux.abort``
+    here, which is what makes in-flight sibling shards fail fast instead
+    of waiting out their timeouts), and re-raises the original exception
+    — type preserved, the shard index attached as a ``__notes__`` entry —
+    after all started tasks have joined, so no worker thread outlives
+    the call (the leak tests pin this).
     """
     if workers < 1:
         raise ConfigError("workers must be positive")
     tasks = list(tasks)
     if workers == 1 or len(tasks) <= 1:
-        return [fn() for fn in tasks]
+        results = []
+        for idx, fn in enumerate(tasks):
+            try:
+                results.append(fn())
+            except BaseException as exc:  # noqa: BLE001 - annotated re-raise
+                exc.add_note(f"[run_sharded] shard task {idx} failed (sequential)")
+                if on_error is not None:
+                    on_error(exc)
+                raise
+        return results
 
     results: list = [None] * len(tasks)
-    errors: list[BaseException] = []
+    errors: list[tuple[int, BaseException]] = []
     pending: queue.SimpleQueue = queue.SimpleQueue()
     for idx in range(len(tasks)):
         pending.put(idx)
@@ -66,7 +86,23 @@ def run_sharded(tasks: Sequence[Callable[[], object]], workers: int) -> list:
             try:
                 results[idx] = tasks[idx]()
             except BaseException as exc:  # noqa: BLE001 - re-raised below
-                errors.append(exc)
+                exc.add_note(
+                    f"[run_sharded] shard task {idx} failed; "
+                    "queued tasks cancelled"
+                )
+                errors.append((idx, exc))
+                # Drain the queue so idle workers stop immediately rather
+                # than chewing through shards whose round is already dead.
+                while True:
+                    try:
+                        pending.get_nowait()
+                    except queue.Empty:
+                        break
+                if on_error is not None:
+                    try:
+                        on_error(exc)
+                    except Exception:  # noqa: BLE001 - abort hooks best-effort
+                        pass
                 return
 
     threads = [
@@ -78,5 +114,5 @@ def run_sharded(tasks: Sequence[Callable[[], object]], workers: int) -> list:
     for t in threads:
         t.join()
     if errors:
-        raise errors[0]
+        raise errors[0][1]
     return results

@@ -1,0 +1,313 @@
+"""Process-pool shard execution: protocol sessions in worker processes.
+
+The thread pool of :mod:`repro.exec.pool` tops out where the GIL does:
+numpy glue and hashing from different shards serialize on one core.
+This module runs each shard's protocol session in a **worker process**
+instead, while keeping the deployment footprint of PR 5 — one socket,
+one :class:`repro.net.mux.ChannelMux`, byte-identical per-stream
+transcripts:
+
+* the parent spawns one child per shard (at most ``workers`` alive at a
+  time — the proxy threads are scheduled by :func:`run_sharded`);
+* the child runs the ordinary shard body against a :class:`PipeChannel`,
+  a ``Channel``-shaped endpoint whose every ``send``/``recv`` is an RPC
+  over a ``multiprocessing.Pipe`` to its parent-side proxy thread;
+* the proxy thread forwards each RPC to the shard's mux stream, so the
+  wire sees exactly the frames a thread-mode shard would have produced
+  (payloads are identical objects; per-stream accounting is identical);
+* inputs reach workers via :class:`repro.exec.shm.ShmBundle`
+  (shared-memory, pickle-inline fallback) and results/traces return
+  through the pipe.
+
+Failure contract: a child that dies mid-protocol (crash, OOM-kill,
+``SIGKILL``) surfaces as :class:`repro.errors.ProtocolError` naming the
+shard and exit code; a Python-level failure inside the shard body is
+re-raised in the parent as ``ProtocolError`` carrying the child's
+traceback.  Either way :func:`run_mux_shards` poisons the mux
+(:meth:`ChannelMux.abort`) so surviving shards fail fast instead of
+waiting out their timeouts, and every child is joined or killed before
+the call returns — no orphan processes (``tests/test_exec_process.py``
+pins this with a kill-one-worker fault test).
+
+Start method: ``fork`` where available (cheap, inherits the loaded
+model/numpy state), overridable with ``ABNN2_MP_START=spawn|forkserver``
+for platforms or embeddings where forking a threaded parent is unsafe.
+Worker callables must be module-level functions and payloads picklable
+either way, so the two start methods are interchangeable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable
+
+from repro.errors import ConfigError, ProtocolError
+from repro.exec.pool import run_sharded
+from repro.perf.trace import Tracer
+from repro.utils import serialization
+
+_SEND = 0
+_RECV = 1
+_OK = 2
+_ERR = 3
+_DONE = 4
+_FAIL = 5
+
+#: Grace period for a child to exit after its pipe closes, before the
+#: parent escalates to terminate()/kill().
+_REAP_GRACE_S = 5.0
+
+
+def mp_context():
+    """The configured multiprocessing context (``ABNN2_MP_START``)."""
+    method = os.environ.get("ABNN2_MP_START")
+    if method:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError as exc:
+            raise ConfigError(f"unsupported ABNN2_MP_START={method!r}") from exc
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+# --------------------------------------------------------------------- #
+# child side
+# --------------------------------------------------------------------- #
+class PipeChannel:
+    """Child-side ``Channel`` endpoint proxied through the parent.
+
+    Duck-types the surface protocol sessions use (``send`` / ``recv`` /
+    ``exchange`` / ``tracer`` / byte counters / ``party`` /
+    ``timeout_s``).  Accounting counts protocol *payload* bytes exactly
+    like :class:`repro.net.mux.MuxChannel`, so a traced process-mode
+    shard reports the same figures as its thread-mode twin.
+    """
+
+    def __init__(self, conn, party: int = -1, timeout_s: float = 120.0) -> None:
+        self._conn = conn
+        self.party = party
+        self.timeout_s = timeout_s
+        self.tracer = None
+        self.sent_bytes = 0
+        self.recv_bytes = 0
+        self.sent_msgs = 0
+        self.recv_msgs = 0
+
+    def send(self, obj: Any) -> None:
+        self._conn.send((_SEND, obj))
+        payload = serialization.payload_nbytes(obj)
+        self.sent_bytes += payload
+        self.sent_msgs += 1
+        if self.tracer is not None:
+            self.tracer.record_io("send", payload)
+
+    def recv(self) -> Any:
+        from repro.errors import ChannelError
+
+        self._conn.send((_RECV, None))
+        try:
+            kind, obj = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ChannelError("parent proxy closed the shard pipe") from exc
+        if kind == _ERR:
+            raise ChannelError(f"parent proxy failed: {obj}")
+        payload = serialization.payload_nbytes(obj)
+        self.recv_bytes += payload
+        self.recv_msgs += 1
+        if self.tracer is not None:
+            self.tracer.record_io("recv", payload)
+        return obj
+
+    def exchange(self, obj: Any) -> Any:
+        self.send(obj)
+        return self.recv()
+
+    def __repr__(self) -> str:
+        return f"PipeChannel(party={self.party})"
+
+
+def _child_main(conn, worker, payload, party, timeout_s, trace, trace_name) -> None:
+    """Worker-process entry: run ``worker(chan, payload)``, ship the result."""
+    try:
+        chan = PipeChannel(conn, party=party, timeout_s=timeout_s)
+        if trace:
+            chan.tracer = Tracer(trace_name)
+        result = worker(chan, payload)
+        conn.send((_DONE, result, chan.tracer))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send((_FAIL, type(exc).__name__, str(exc), traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+def _reap(proc) -> None:
+    """Join a child, escalating so it can never outlive the call."""
+    proc.join(timeout=_REAP_GRACE_S)
+    if proc.is_alive():  # pragma: no cover - only on a wedged child
+        proc.terminate()
+        proc.join(timeout=_REAP_GRACE_S)
+    if proc.is_alive():  # pragma: no cover
+        proc.kill()
+        proc.join()
+    proc.close()
+
+
+def proxy_shard(
+    stream,
+    tag: int,
+    worker: Callable[[Any, Any], Any],
+    payload: Any,
+    *,
+    trace: bool = False,
+    ctx=None,
+) -> tuple[Any, "Tracer | None"]:
+    """Run one shard in a child process, proxying its channel traffic.
+
+    Blocks the calling (proxy) thread until the child reports a result
+    or dies; returns ``(result, child_tracer_or_None)``.  The child is
+    always reaped before this returns, on success and failure alike.
+    """
+    ctx = ctx or mp_context()
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(
+        target=_child_main,
+        args=(
+            child_conn,
+            worker,
+            payload,
+            getattr(stream, "party", -1),
+            getattr(stream, "timeout_s", 120.0),
+            trace,
+            f"shard{tag}",
+        ),
+        name=f"abnn2-shard{tag}",
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        while True:
+            try:
+                msg = parent_conn.recv()
+            except (EOFError, OSError) as exc:
+                proc.join(timeout=1.0)
+                raise ProtocolError(
+                    f"shard {tag} worker process died mid-protocol "
+                    f"(exit code {proc.exitcode})"
+                ) from exc
+            kind = msg[0]
+            if kind == _SEND:
+                stream.send(msg[1])
+            elif kind == _RECV:
+                try:
+                    obj = stream.recv()
+                except BaseException as exc:
+                    # Tell the child so it unwinds instead of blocking on
+                    # a reply that will never come.
+                    try:
+                        parent_conn.send((_ERR, f"{type(exc).__name__}: {exc}"))
+                    except (OSError, BrokenPipeError):
+                        pass
+                    raise
+                try:
+                    parent_conn.send((_OK, obj))
+                except (EOFError, OSError) as exc:
+                    proc.join(timeout=1.0)
+                    raise ProtocolError(
+                        f"shard {tag} worker process died mid-protocol "
+                        f"(exit code {proc.exitcode})"
+                    ) from exc
+            elif kind == _DONE:
+                return msg[1], msg[2]
+            elif kind == _FAIL:
+                raise ProtocolError(
+                    f"shard {tag} worker failed with {msg[1]}: {msg[2]}\n"
+                    f"--- worker traceback ---\n{msg[3]}"
+                )
+            else:
+                raise ProtocolError(f"shard {tag} sent unknown proxy opcode {kind!r}")
+    finally:
+        try:
+            parent_conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        _reap(proc)
+
+
+def run_mux_shards(
+    mux,
+    specs: list[tuple[int, Callable[[Any, Any], Any], Any]],
+    workers: int,
+    *,
+    trace: bool = False,
+    busy_out: "list[float] | None" = None,
+    tracers_out: "list | None" = None,
+) -> list:
+    """Run ``(tag, worker, payload)`` shard specs in child processes.
+
+    At most ``workers`` children are alive at once; results come back in
+    spec order.  The first failing shard aborts the mux so surviving
+    shards fail fast, and — via :func:`run_sharded`'s cancellation — no
+    queued shard is started after the failure.  ``busy_out`` /
+    ``tracers_out`` are per-tag slots filled as shards complete.
+    """
+    ctx = mp_context()
+
+    def make_task(tag, worker, payload):
+        def task():
+            t0 = time.perf_counter()
+            stream = mux.stream(tag)
+            try:
+                result, shipped = proxy_shard(
+                    stream, tag, worker, payload, trace=trace, ctx=ctx
+                )
+                if tracers_out is not None:
+                    tracers_out[tag] = shipped
+                return result
+            finally:
+                if busy_out is not None:
+                    busy_out[tag] = time.perf_counter() - t0
+
+        return task
+
+    tasks = [make_task(tag, worker, payload) for tag, worker, payload in specs]
+    return run_sharded(tasks, workers, on_error=mux.abort)
+
+
+def run_in_process(worker: Callable[[Any, Any], Any], payload: Any) -> Any:
+    """Run one ``worker(chan, payload)`` in a child with no channel proxy.
+
+    For jobs that are self-contained (both protocol parties inside the
+    child, e.g. the triplet bank's self-play generation): the child gets
+    a :class:`PipeChannel` it simply never uses.  Failure semantics match
+    :func:`proxy_shard`.
+    """
+    result, _ = proxy_shard(_DummyStream(), 0, worker, payload, trace=False)
+    return result
+
+
+class _DummyStream:
+    """Stand-in stream for self-contained (no-proxy) child jobs."""
+
+    party = -1
+    timeout_s = 120.0
+
+    def send(self, obj) -> None:
+        raise ProtocolError("self-contained worker must not touch the channel")
+
+    def recv(self):
+        raise ProtocolError("self-contained worker must not touch the channel")

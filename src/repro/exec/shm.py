@@ -1,0 +1,128 @@
+"""Shared-memory shipping of numpy arrays to shard worker processes.
+
+A :class:`ShmBundle` packs a dict of named arrays into **one**
+``multiprocessing.shared_memory`` segment: the parent creates it once,
+every worker process attaches the same segment and reconstructs
+zero-copy read-only views from the picklable :meth:`ShmBundle.handle`
+(name + per-array dtype/shape/offset).  This is how the process executor
+ships the OT choice digits / R matrix / GC input bits to workers without
+serializing megabytes per shard.
+
+Fallback: when the platform lacks POSIX shared memory or the caller sets
+``ABNN2_SHM=0``, the bundle degrades to *inline* mode — the arrays ride
+in the handle itself and reach each worker through ordinary pickle.
+Behaviour is identical (workers only ever read), only the copy cost
+differs.
+
+Lifecycle: the parent calls :meth:`close` + :meth:`unlink` after the
+round joins; workers :meth:`close` their attachment when the shard body
+returns.  Workers never unlink.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+try:  # pragma: no cover - import probe
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shm = None
+
+
+def shm_enabled() -> bool:
+    """Whether bundles use a real shared-memory segment on this box."""
+    return _shm is not None and os.environ.get("ABNN2_SHM", "1") != "0"
+
+
+class ShmBundle:
+    """One shared segment (or inline fallback) holding named arrays."""
+
+    def __init__(self, arrays: dict[str, np.ndarray], handle: dict[str, Any], seg=None):
+        self.arrays = arrays
+        self._handle = handle
+        self._seg = seg
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "ShmBundle":
+        """Pack ``arrays`` for shipping (parent side)."""
+        packed = {k: np.ascontiguousarray(v) for k, v in arrays.items()}
+        if not shm_enabled():
+            return cls(packed, {"kind": "inline", "arrays": packed})
+        total = sum(a.nbytes for a in packed.values())
+        seg = _shm.SharedMemory(create=True, size=max(1, total))
+        items = []
+        off = 0
+        for name, arr in packed.items():
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=off)
+            view[...] = arr
+            items.append((name, arr.dtype.str, arr.shape, off))
+            off += arr.nbytes
+        handle = {"kind": "shm", "name": seg.name, "items": items}
+        # The parent keeps the copied views so thread- and process-mode
+        # shard bodies read the very same bytes.
+        views = {
+            name: np.ndarray(shape, dtype=np.dtype(dt), buffer=seg.buf, offset=o)
+            for name, dt, shape, o in items
+        }
+        return cls(views, handle, seg)
+
+    @classmethod
+    def open(cls, handle: dict[str, Any]) -> "ShmBundle":
+        """Attach to a shipped handle (worker side)."""
+        kind = handle.get("kind")
+        if kind == "inline":
+            return cls(dict(handle["arrays"]), handle)
+        if kind != "shm":
+            raise ConfigError(f"unknown ShmBundle handle kind {kind!r}")
+        # Note on the resource tracker: worker processes share the
+        # parent's tracker (its pipe fd is inherited by fork and spawn
+        # alike), and the parent's :meth:`create` already registered the
+        # segment.  Attaching would re-register the same name (a dedup
+        # no-op) — but the register call takes the tracker lock and
+        # writes its pipe, and a ``fork``-mode child may have inherited
+        # that lock *held* (another thread of the parent mid-``create``
+        # at fork time), deadlocking the worker in bootstrap.  So the
+        # attach skips registration entirely: workers never talk to the
+        # tracker, and the parent's single unlink balances the books.
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            seg = _shm.SharedMemory(name=handle["name"])
+        finally:
+            resource_tracker.register = orig_register
+        arrays = {}
+        for name, dt, shape, off in handle["items"]:
+            view = np.ndarray(tuple(shape), dtype=np.dtype(dt), buffer=seg.buf, offset=off)
+            view.flags.writeable = False
+            arrays[name] = view
+        return cls(arrays, handle, seg)
+
+    # ------------------------------------------------------------------ #
+    def handle(self) -> dict[str, Any]:
+        """The picklable attachment token for :meth:`open`."""
+        return self._handle
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        if self._seg is not None:
+            self.arrays = {}
+            try:
+                self._seg.close()
+            except OSError:  # pragma: no cover - double close on teardown
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creating parent only, after workers join)."""
+        if self._seg is not None:
+            try:
+                self._seg.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass

@@ -294,6 +294,21 @@ class ChannelMux:
             }
         return out
 
+    def abort(self, exc: BaseException) -> None:
+        """Poison the mux: every pending/future send or recv raises.
+
+        Used by the executors' fail-fast path — when one shard fails,
+        the surviving shards' recv loops are parked waiting for frames
+        that will never arrive, and this is what wakes them: every
+        reader *waiting on the recv lock* re-checks ``_error`` each
+        50 ms poll tick.  The one thread currently holding the lock is
+        blocked inside the underlying ``chan.recv`` and surfaces the
+        poison at its next frame or the channel timeout, whichever
+        comes first.  Idempotent; the first exception wins.
+        """
+        if self._error is None:
+            self._error = exc
+
     def close(self) -> None:
         """Flush and stop the writer thread (underlying channel survives)."""
         if self._closed:

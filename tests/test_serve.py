@@ -79,9 +79,11 @@ def x2(qmodel):
 def _bank(qmodel, test_group, *, rounds=0, batch=2, **kwargs):
     kwargs.setdefault("auto_replenish", False)
     kwargs.setdefault("seed", 11)
-    # CI's serve-soak job sets this to 2 so the whole serving suite runs
-    # against a parallel replenisher; material is identical either way.
+    # CI's serve-soak job sets these (workers=2, and a process-executor
+    # leg) so the whole serving suite runs against a parallel replenisher;
+    # material is identical either way.
     kwargs.setdefault("workers", int(os.environ.get("ABNN2_SERVE_WORKERS", "1")))
+    kwargs.setdefault("executor", os.environ.get("ABNN2_EXECUTOR", "thread"))
     bank = TripletBank(qmodel, batch, group=test_group, **kwargs)
     if rounds:
         bank.fill(rounds)
@@ -589,6 +591,8 @@ class TestServeSoak:
         bank = TripletBank(
             qmodel, 2, capacity=4, low_water=3, auto_replenish=True,
             replenish_chunk=2, group=test_group, seed=17,
+            workers=int(os.environ.get("ABNN2_SERVE_WORKERS", "1")),
+            executor=os.environ.get("ABNN2_EXECUTOR", "thread"),
         )
         with PredictionServer(
             qmodel, bank, port=0, max_sessions=4, group=test_group,
