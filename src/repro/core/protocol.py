@@ -564,6 +564,173 @@ class Abnn2Client(_PartyBase):
 
 
 # --------------------------------------------------------------------- #
+# wide rounds: one server-side compute over many clients' columns
+# --------------------------------------------------------------------- #
+def stack_columns(blocks: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-client column blocks into one wide operand."""
+    if not blocks:
+        raise ConfigError("cannot stack zero column blocks")
+    return np.concatenate([np.asarray(b) for b in blocks], axis=1)
+
+
+def split_columns(wide: np.ndarray, widths: list[int]) -> list[np.ndarray]:
+    """Inverse of :func:`stack_columns` for the given per-block widths."""
+    if wide.shape[1] != sum(widths):
+        raise ConfigError(
+            f"wide array has {wide.shape[1]} columns, blocks claim {sum(widths)}"
+        )
+    out = []
+    start = 0
+    for width in widths:
+        out.append(wide[:, start : start + width])
+        start += width
+    return out
+
+
+class WideServerRound:
+    """Server-side compute of one *batched* online round over ``width``
+    clients' columns.
+
+    Every column-local step of :meth:`Abnn2Server.online` — the linear
+    layers (``W <Z>_0 + U + b``), im2col lowering/lifting, share-local
+    truncation, and average pooling — commutes with stacking per-client
+    batches as extra columns, because ``lower_shares``/``lift_output``
+    order columns image-major (each client's images stay a contiguous
+    column block).  So one wide matmul over the concatenation of ``width``
+    banked rounds produces, per client, *bit-identical* shares to the solo
+    round it would have run with the same material.
+
+    What does **not** commute is anything interactive per client: the GC
+    ReLU (each client garbles with its own keys) and max-pool resharing.
+    The caller (:class:`repro.serve.scheduler.BatchScheduler`) therefore
+    runs those on per-client session threads and only funnels the
+    column-local math through this class:
+
+    * :meth:`start` with each client's input share ``<x>_0``;
+    * :meth:`linear` computes the next linear layer wide (plus truncation
+      on hidden layers) and returns per-client blocks;
+    * after the per-client ReLU (and any max-pool reshare), feed the
+      per-client activation shares back via :meth:`resume` — average
+      pooling, being share-local, is applied wide in here;
+    * when :attr:`complete`, the last :meth:`linear` blocks are each
+      client's logit share, ready to send on its own channel.
+
+    No channel is touched: this class is pure local compute, which is
+    what makes it safe to run under a scheduler barrier while the session
+    threads own all per-client I/O.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        us_per_client: list[list[np.ndarray]],
+        batch: int,
+        *,
+        group: ModpGroup = DEFAULT_GROUP,
+        ro: RandomOracle = default_ro,
+    ) -> None:
+        if not us_per_client:
+            raise ConfigError("a wide round needs at least one client")
+        if batch < 1:
+            raise ConfigError("batch must be positive")
+        self.model = model
+        self.meta = ModelMeta.from_model(model)
+        self.ring = Ring(self.meta.ring_bits)
+        self.batch = batch
+        self.width = len(us_per_client)
+        self.wide_batch = batch * self.width
+        self.n_layers = len(model.layers)
+        self._matmuls: list[SecureMatmulServer] = []
+        for idx, layer in enumerate(model.layers):
+            meta = self.meta.layers[idx]
+            config = TripletConfig(
+                ring=self.ring,
+                scheme=meta.scheme,
+                m=meta.matmul_rows,
+                n=meta.matmul_cols,
+                o=self.wide_batch * meta.batch_multiplier(),
+                group=group,
+                ro=ro,
+            )
+            engine = SecureMatmulServer(None, layer.w_int, config)
+            # A client's U covers batch*multiplier columns; clients'
+            # images are contiguous in the image-major wide layout, so
+            # concatenation in client order *is* the wide U.
+            engine.preload(
+                stack_columns([us[idx] for us in us_per_client])
+            )
+            self._matmuls.append(engine)
+        self._operand: np.ndarray | None = None
+        self._layer = 0
+
+    @property
+    def complete(self) -> bool:
+        """True once the final linear layer has been computed."""
+        return self._layer >= self.n_layers
+
+    def _split(self, wide: np.ndarray) -> list[np.ndarray]:
+        return split_columns(wide, [self.batch] * self.width)
+
+    def start(self, x0_blocks: list[np.ndarray]) -> None:
+        """Install each client's input share ``<x>_0`` (features, batch)."""
+        if len(x0_blocks) != self.width:
+            raise ConfigError(
+                f"wide round spans {self.width} clients, got {len(x0_blocks)} inputs"
+            )
+        expected = (self.meta.layers[0].in_features, self.batch)
+        for block in x0_blocks:
+            if np.asarray(block).shape != expected:
+                raise ConfigError(
+                    f"expected input share of shape {expected}, "
+                    f"got {np.asarray(block).shape}"
+                )
+        self._operand = self.ring.reduce(stack_columns(x0_blocks))
+        self._layer = 0
+
+    def linear(self) -> list[np.ndarray]:
+        """Compute the next linear layer wide; returns per-client blocks.
+
+        Hidden layers come back truncated (ready for the per-client
+        ReLU); the final layer's blocks are the untruncated logit shares,
+        exactly as :meth:`Abnn2Server.online` would send them.
+        """
+        if self._operand is None:
+            raise ProtocolError("wide round has no pending operand")
+        if self.complete:
+            raise ProtocolError("wide round already computed all layers")
+        idx = self._layer
+        layer = self.model.layers[idx]
+        share0, self._operand = self._operand, None
+        operand = lower_shares(layer.conv, share0) if layer.conv else share0
+        y0 = self._matmuls[idx].online(operand)
+        y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+        if layer.conv:
+            y0 = lift_output(layer.conv, layer.shape[0], y0)
+        if idx < self.n_layers - 1:
+            y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
+        self._layer += 1
+        return self._split(y0)
+
+    def resume(self, z0_blocks: list[np.ndarray]) -> None:
+        """Feed back per-client activation shares after the interactive
+        steps: post-ReLU shares (or post-reshare blocks where the layer
+        max-pools).  Share-local average pooling is applied wide here."""
+        if self.complete:
+            raise ProtocolError("wide round already computed all layers")
+        if self._layer == 0:
+            raise ProtocolError("resume before the first linear layer")
+        if len(z0_blocks) != self.width:
+            raise ConfigError(
+                f"wide round spans {self.width} clients, got {len(z0_blocks)} blocks"
+            )
+        layer = self.model.layers[self._layer - 1]
+        share0 = self.ring.reduce(stack_columns(z0_blocks))
+        if layer.pool is not None and layer.pool.kind == "avg":
+            share0 = avgpool_share(self.ring, layer.pool, share0, party=0)
+        self._operand = share0
+
+
+# --------------------------------------------------------------------- #
 # one-call convenience API
 # --------------------------------------------------------------------- #
 @dataclass

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any
@@ -166,6 +167,28 @@ class Channel:
         if not self._closed:
             self._closed = True
             self._outbox.put(_CLOSE_SENTINEL)
+
+    def drain(self, deadline_s: float = 1.0) -> None:
+        """Consume inbound frames until the peer hangs up (bounded).
+
+        Used after a control-plane deny: the denying side reads the
+        peer's trailing traffic (its best-effort ``done``/close) before
+        closing, so the teardown is graceful on both transports — under
+        TCP, closing a socket with unread inbound data resets the
+        connection, which can destroy the deny the peer was about to
+        read (see :meth:`repro.net.tcp.TcpChannel.drain`).
+        """
+        deadline = time.monotonic() + deadline_s
+        while not self._closed:
+            try:
+                item = self._inbox.get(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                return
+            if item is _CLOSE_SENTINEL or item is _ABORT_SENTINEL:
+                return
+            self._recv_seq += 1
 
     def abort(self) -> None:
         """Drop the connection without the graceful-close signal.

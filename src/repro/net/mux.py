@@ -76,6 +76,7 @@ class MuxChannel:
         self._mux = mux
         self.tag = tag
         self.tracer = None
+        self._closed = False
         #: Per-stream payload-byte/message accounting (what the fuzz and
         #: determinism tests compare across worker counts).
         self.sent_bytes = 0
@@ -96,14 +97,30 @@ class MuxChannel:
         return self._mux.timeout_s
 
     def send(self, obj: Any) -> None:
+        if self._closed:
+            raise ChannelError("send on closed channel")
         self._mux._send(self.tag, obj)
 
     def recv(self) -> Any:
+        if self._closed:
+            raise ChannelError("recv on closed channel")
         return self._mux._recv(self.tag)
 
     def exchange(self, obj: Any) -> Any:
         self.send(obj)
         return self.recv()
+
+    def close(self) -> None:
+        """Close this stream locally (idempotent).
+
+        Only this endpoint's view of the stream is closed — the mux and
+        the underlying channel stay up for the other streams, and no
+        close frame goes on the wire (stream lifecycle is a session-layer
+        concern; e.g. the serving session's ``bye`` control message).
+        Subsequent ``send``/``recv`` on this stream raise
+        :class:`ChannelError` like a closed :class:`~repro.net.channel.Channel`.
+        """
+        self._closed = True
 
     def __repr__(self) -> str:
         return f"MuxChannel(tag={self.tag}, party={self.party})"

@@ -290,6 +290,29 @@ class TcpChannel:
             remaining -= len(chunk)
         return b"".join(chunks)
 
+    def drain(self, deadline_s: float = 1.0) -> None:
+        """Consume inbound frames until the peer hangs up (bounded).
+
+        The deny path of the serving layer calls this between sending a
+        structured deny and closing the socket.  Without it, closing
+        with unread inbound bytes (the client's best-effort ``done`` or
+        close frame racing in) makes the kernel send RST, and the peer
+        can see ``ConnectionResetError`` *instead of* the deny reason it
+        was owed.  Any :class:`ChannelError` — peer close frame, EOF,
+        the ``deadline_s`` timeout — ends the drain quietly.
+        """
+        if self._closed or self._peer_closed:
+            return
+        old_timeout = self._timeout_s
+        self._timeout_s = deadline_s
+        try:
+            while True:
+                self.recv()
+        except ChannelError:
+            pass
+        finally:
+            self._timeout_s = old_timeout
+
     def close(self) -> None:
         """Gracefully close: tell the peer, then tear the socket down."""
         if self._closed:
@@ -362,8 +385,13 @@ class Listener:
         """
         if self._closed:
             raise ChannelError("accept on closed listener")
-        self._sock.settimeout(timeout_s)
         try:
+            # settimeout sits inside the try: a concurrent close() (the
+            # server's stop path closes the listener first, on purpose)
+            # turns the descriptor invalid between the flag check above
+            # and here, and must surface typed like any other accept
+            # failure, not as a raw OSError.
+            self._sock.settimeout(timeout_s)
             return self._sock.accept()
         except socket.timeout as exc:
             raise ChannelError(f"no client connected within {timeout_s}s") from exc

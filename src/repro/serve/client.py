@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.protocol import ModelMeta
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.errors import ConfigError
+from repro.errors import ChannelError, ConfigError
 from repro.net import tcp
 from repro.perf.trace import Tracer
 from repro.quant.fixed_point import FixedPointEncoder
@@ -46,6 +46,7 @@ class PredictionClient:
         ro: RandomOracle = default_ro,
         seed: int | None = None,
         tracer: Tracer | None = None,
+        channel_wrap=None,
     ) -> None:
         self.meta = meta
         self.batch = batch
@@ -54,13 +55,22 @@ class PredictionClient:
         self.chan = tcp.connect(
             host, port, timeout_s=timeout_s, session_id=tcp.SESSION_ANY
         )
+        if channel_wrap is not None:
+            # e.g. a ShapedChannel for link-shaped benchmarking.
+            self.chan = channel_wrap(self.chan)
         try:
             self.session = ClientSession(
                 self.chan, meta, batch, relu_variant=relu_variant, mode=mode,
                 group=group, ro=ro, seed=seed, tracer=tracer,
             )
         except Exception:
-            self.chan.close()
+            # Best-effort teardown: a socket already reset by the server
+            # must not raise out of close() here and replace the typed
+            # deny reason the session-layer exception carries.
+            try:
+                self.chan.close()
+            except (ChannelError, OSError):
+                pass
             raise
         self.tracer = self.session.tracer
         self.session_id = self.session.session_id

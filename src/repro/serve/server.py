@@ -32,6 +32,7 @@ from repro.net.tcp import Listener, TcpChannel
 from repro.nn.quantize import QuantizedModel
 from repro.perf.trace import Tracer
 from repro.serve.bank import TripletBank
+from repro.serve.scheduler import BatchScheduler
 from repro.serve.session import ServerSession
 
 #: Session ids are assigned from this counter; 0 is reserved for the
@@ -91,6 +92,12 @@ class PredictionServer:
         group: ModpGroup = DEFAULT_GROUP,
         ro: RandomOracle = default_ro,
         seed: int | None = None,
+        batch_window_ms: float | None = None,
+        batch_max: int = 8,
+        max_queued: int = 64,
+        min_bank_depth: int = 0,
+        channel_wrap=None,
+        backlog: int = 16,
     ) -> None:
         if max_sessions < 1:
             raise ConfigError("max_sessions must be positive")
@@ -106,8 +113,29 @@ class PredictionServer:
         self.group = group
         self.ro = ro
         self.seed = seed
+        #: optional callable wrapping each accepted session's channel
+        #: (e.g. a :class:`repro.net.netsim.ShapedChannel` for shaped-link
+        #: benchmarking, or a fault injector).
+        self.channel_wrap = channel_wrap
+        # Cross-session batching: opt in per server, or fleet-wide via
+        # ABNN2_SERVE_BATCH=1 (the CI soak leg) with a default window.
+        if batch_window_ms is None and os.environ.get("ABNN2_SERVE_BATCH"):
+            batch_window_ms = 10.0
+        self.scheduler = (
+            BatchScheduler(
+                bank,
+                window_ms=batch_window_ms,
+                batch_max=batch_max,
+                max_queued=max_queued,
+                min_bank_depth=min_bank_depth,
+                exhaustion_wait_s=exhaustion_wait_s,
+                round_timeout_s=session_timeout_s,
+            )
+            if batch_window_ms is not None
+            else None
+        )
 
-        self.listener = Listener(port, host=host)
+        self.listener = Listener(port, host=host, backlog=backlog)
         self.host = self.listener.host
         self.port = self.listener.port
 
@@ -117,6 +145,11 @@ class PredictionServer:
         self._slots = threading.BoundedSemaphore(max_sessions)
         self._stop = threading.Event()
         self._accept_thread: threading.Thread | None = None
+        # Guards _session_threads *and* the spawn-vs-stop decision: a
+        # session thread is only ever started while holding this lock and
+        # _stop is unset, so stop()'s join snapshot (taken under the same
+        # lock, after _stop is set) can never miss a thread.
+        self._threads_lock = threading.Lock()
         self._session_threads: list[threading.Thread] = []
         self._sessions_served = 0
         self._sessions_failed = 0
@@ -163,20 +196,26 @@ class PredictionServer:
                 continue
             accepted += 1
             self._slots.acquire()  # bound concurrent sessions (backpressure)
-            if self._stop.is_set():
-                self._slots.release()
-                sock.close()
-                break
             session_id = next(self._session_ids)
             record = SessionRecord(session_id, addr=addr)
-            with self._records_lock:
-                self.records.append(record)
-            thread = threading.Thread(
-                target=self._run_session, args=(sock, record),
-                name=f"abnn2-session-{session_id}", daemon=True,
-            )
-            self._session_threads.append(thread)
-            thread.start()
+            with self._threads_lock:
+                # Checked under the lock stop() snapshots with: either
+                # this thread lands in the list before the snapshot, or
+                # the stop flag is already visible here and no thread is
+                # spawned — a client accepted concurrently with stop()
+                # can never leave an unjoined session thread behind.
+                if self._stop.is_set():
+                    self._slots.release()
+                    sock.close()
+                    break
+                with self._records_lock:
+                    self.records.append(record)
+                thread = threading.Thread(
+                    target=self._run_session, args=(sock, record),
+                    name=f"abnn2-session-{session_id}", daemon=True,
+                )
+                self._session_threads.append(thread)
+                thread.start()
 
     # ------------------------------------------------------------------ #
     # one session
@@ -198,6 +237,8 @@ class PredictionServer:
                 sock, party=0, timeout_s=self.session_timeout_s,
                 session_id=record.session_id,
             )
+            if self.channel_wrap is not None:
+                chan = self.channel_wrap(chan)
             chan.tracer = tracer
             session = ServerSession(
                 chan, self.model, self.bank,
@@ -209,6 +250,7 @@ class PredictionServer:
                 group=self.group, ro=self.ro,
                 seed=self._session_seed(record.session_id),
                 tracer=tracer,
+                scheduler=self.scheduler,
             )
             result = session.run()
             record.predictions = result.predictions
@@ -272,6 +314,9 @@ class PredictionServer:
                 "max_sessions": self.max_sessions,
             }
         out["bank"] = self.bank.metrics()
+        out["scheduler"] = (
+            self.scheduler.metrics() if self.scheduler is not None else None
+        )
         return out
 
     def wait_idle(self, timeout_s: float = 30.0) -> None:
@@ -287,13 +332,29 @@ class PredictionServer:
 
     def _join_sessions(self, timeout_s: float) -> None:
         deadline = time.monotonic() + timeout_s
-        for thread in self._session_threads:
+        with self._threads_lock:
+            threads = list(self._session_threads)
+        for thread in threads:
             thread.join(timeout=max(0.1, deadline - time.monotonic()))
 
     def stop(self) -> None:
-        """Stop accepting, drain session threads, stop the bank."""
-        self._stop.set()
+        """Stop accepting, drain session threads, stop the bank.
+
+        Ordering matters: the stop flag goes up and the listener socket
+        closes *first* (so a blocked accept wakes immediately and no new
+        connection can be accepted), then the accept thread is joined,
+        and only then are session threads snapshotted and joined — the
+        spawn-under-lock in :meth:`_accept_loop` guarantees the snapshot
+        is complete even when the accept loop runs on a foreign thread
+        (:meth:`serve_forever`).
+        """
+        with self._threads_lock:
+            self._stop.set()
         self.listener.close()
+        if self.scheduler is not None:
+            # Release any sessions parked in a batching window so the
+            # join below cannot wait out a whole window per group.
+            self.scheduler.stop()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=10.0)
             self._accept_thread = None

@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.errors import ChannelError, ConfigError, ProtocolError
+from repro.errors import AdmissionDenied, ChannelError, ConfigError, ProtocolError
 from repro.perf.trace import Tracer
 
 #: Version of the session-layer message flow (independent of the wire
@@ -46,6 +46,13 @@ SERVE_PROTOCOL = 1
 #: model, zero offline traffic); ``interactive`` runs the joint OT-based
 #: offline phase per round (the paper's two-party model).
 MODES = ("bank", "interactive")
+
+#: Hard cap on one JSON control frame.  Legitimate control messages are
+#: tens of bytes; without a cap a hostile peer could make ``json.loads``
+#: chew through an arbitrarily large allocation before any field is
+#: validated.  Oversized frames fail typed, like every other malformed
+#: control input.
+MAX_CTRL_BYTES = 64 * 1024
 
 
 # --------------------------------------------------------------------- #
@@ -62,6 +69,11 @@ def recv_ctrl(chan) -> dict:
     if not isinstance(obj, (bytes, bytearray)):
         raise ProtocolError(
             f"expected a control message, got {type(obj).__name__}"
+        )
+    if len(obj) > MAX_CTRL_BYTES:
+        raise ProtocolError(
+            f"control frame of {len(obj)} bytes exceeds the "
+            f"{MAX_CTRL_BYTES}-byte cap"
         )
     try:
         doc = json.loads(bytes(obj).decode())
@@ -170,6 +182,7 @@ class ServerSession:
         ro: RandomOracle = default_ro,
         seed: int | None = None,
         tracer: Tracer | None = None,
+        scheduler=None,
     ) -> None:
         self.chan = chan
         self.model = model
@@ -184,9 +197,20 @@ class ServerSession:
         self.ro = ro
         self.seed = seed
         self.tracer = tracer if tracer is not None else Tracer(party="server")
+        #: optional :class:`repro.serve.scheduler.BatchScheduler`; when
+        #: set, bank-mode rounds go through the cross-session batching
+        #: path instead of the solo take+online path.
+        self.scheduler = scheduler
 
     def _deny_hello(self, error: str) -> SessionResult:
         send_ctrl(self.chan, ok=False, error=error)
+        # Consume the peer's trailing traffic before our side closes:
+        # under TCP, closing with its best-effort done/close frame still
+        # unread resets the connection, and the client can then see
+        # ConnectionResetError instead of this structured deny.
+        drain = getattr(self.chan, "drain", None)
+        if drain is not None:
+            drain(1.0)
         return SessionResult(self.session_id, error=error)
 
     def run(self) -> SessionResult:
@@ -259,6 +283,18 @@ class ServerSession:
                     if not self.keep_alive
                     else "session round limit reached",
                 )
+                continue
+            if mode == "bank" and self.scheduler is not None:
+                try:
+                    self.scheduler.serve_round(
+                        party, round_idx=result.predictions
+                    )
+                except AdmissionDenied as exc:
+                    # Same typed grant/deny plane as the solo path: the
+                    # round was refused before any protocol bytes flowed.
+                    send_ctrl(self.chan, ok=False, error=str(exc))
+                    continue
+                result.predictions += 1
                 continue
             if mode == "bank":
                 try:

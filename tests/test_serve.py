@@ -39,7 +39,12 @@ from repro.serve import (
     model_fingerprint,
     save_bank,
 )
-from repro.serve.session import decode_client_round, encode_client_round
+from repro.serve.session import (
+    MAX_CTRL_BYTES,
+    decode_client_round,
+    encode_client_round,
+    recv_ctrl,
+)
 from repro.utils.ring import Ring
 
 #: Thread-name prefixes owned by the serving stack; none may outlive it.
@@ -218,6 +223,62 @@ class TestBank:
             assert _deep_equal(one.client_material, two.client_material)
         _assert_no_leaked_serve_threads()
 
+    def test_take_many_partial_grant_and_exhaustion(self, qmodel, test_group):
+        """take_many claims atomically, grants partially from a low bank,
+        and raises the standard typed exhaustion error only when empty."""
+        bank = _bank(qmodel, test_group, rounds=3)
+        got = bank.take_many(2)
+        assert [r.round_id for r in got] == [0, 1]
+        got = bank.take_many(5)  # partial grant: the bank gives what it has
+        assert [r.round_id for r in got] == [2]
+        with pytest.raises(ProtocolError, match="offline material exhausted"):
+            bank.take_many(1)
+        assert bank.metrics()["rounds_served"] == 3
+
+    def test_replenisher_exact_counts_when_fill_races_threshold(
+        self, qmodel, test_group
+    ):
+        """A generation already in flight must be discounted from the
+        replenisher's deficit: a take/fill racing the low-water threshold
+        used to be covered twice, overshooting capacity."""
+        bank = TripletBank(
+            qmodel, 2, capacity=2, low_water=2, auto_replenish=True,
+            replenish_chunk=2, group=test_group, seed=5,
+        )
+        gate = threading.Event()
+        calls = []
+        real_generate = bank._generate
+
+        def gated_generate(rounds):
+            calls.append(rounds)
+            assert gate.wait(timeout=30.0)
+            return real_generate(rounds)
+
+        bank._generate = gated_generate
+        filler = threading.Thread(target=lambda: bank.fill(2), daemon=True)
+        filler.start()
+        deadline = time.monotonic() + 5.0
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert calls == [2]  # fill() claimed its rounds and parked
+        with bank:  # replenisher starts while fill's chunk is in flight
+            # Let it observe the empty-but-covered bank a few poll ticks:
+            # deficit = capacity - depth - inflight = 2 - 0 - 2 = 0.
+            time.sleep(0.6)
+            assert calls == [2], "replenisher re-covered an in-flight deficit"
+            gate.set()
+            filler.join(timeout=30.0)
+            assert bank.depth == 2
+            # Draining below low water still wakes it for the *real* gap.
+            bank.take()
+            deadline = time.monotonic() + 30.0
+            while bank.depth < 2 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert bank.depth == 2
+        assert sum(calls) == 3
+        assert bank.metrics()["rounds_generated"] == 3
+        _assert_no_leaked_serve_threads()
+
     def test_invalid_config_rejected(self, qmodel, test_group):
         with pytest.raises(ConfigError):
             TripletBank(qmodel, 0, group=test_group)
@@ -299,6 +360,45 @@ class TestRoundCodec:
             decode_client_round(
                 (json.dumps({"n_layers": 2, "pool_present": [False]}).encode(),)
             )
+
+
+class TestControlPlaneHardening:
+    @pytest.mark.parametrize("extra", [1, 17, 65536])
+    def test_oversized_ctrl_frame_rejected(self, extra):
+        """recv_ctrl caps the frame before json.loads ever runs."""
+        server_chan, client_chan = make_channel_pair(timeout_s=5.0)
+        client_chan.send(b"x" * (MAX_CTRL_BYTES + extra))
+        with pytest.raises(ProtocolError, match="cap"):
+            recv_ctrl(server_chan)
+
+    def test_fuzzed_ctrl_frames_fail_typed(self):
+        """Fuzz-style sweep: random sizes straddling the cap either parse,
+        fail as malformed JSON, or fail the cap — always ProtocolError,
+        never an unbounded parse of attacker-sized input."""
+        rng = np.random.default_rng(0xC7A1)
+        for _ in range(20):
+            size = int(rng.integers(1, 4 * MAX_CTRL_BYTES))
+            payload = bytes(rng.integers(32, 127, size=size, dtype=np.uint8))
+            server_chan, client_chan = make_channel_pair(timeout_s=5.0)
+            client_chan.send(payload)
+            if size > MAX_CTRL_BYTES:
+                with pytest.raises(ProtocolError, match="cap"):
+                    recv_ctrl(server_chan)
+            else:
+                try:
+                    recv_ctrl(server_chan)
+                except ProtocolError:
+                    pass  # malformed JSON fails typed; that's the contract
+
+    def test_oversized_hello_fails_session_typed(self, qmodel, test_group):
+        bank = _bank(qmodel, test_group)
+        client_chan, box, thread = _serve_in_memory(bank, qmodel, test_group)
+        client_chan.send(
+            json.dumps({"op": "hello", "pad": "x" * (2 * MAX_CTRL_BYTES)}).encode()
+        )
+        thread.join(timeout=10)
+        assert isinstance(box.get("exc"), ProtocolError)
+        assert "cap" in str(box["exc"])
 
 
 class TestSessionsInMemory:
@@ -543,6 +643,66 @@ class TestPredictionServerTcp:
             assert "handshake" in failed[0].error
             assert srv.metrics()["sessions_failed"] == 1
         _assert_no_leaked_serve_threads()
+
+    def test_hello_deny_is_structured_on_both_transports(
+        self, qmodel, meta, test_group
+    ):
+        """A denied client must read the structured deny, never a reset.
+
+        Under TCP the server used to close with the client's trailing
+        traffic unread, which can RST the connection and destroy the
+        queued deny; the in-memory leg pins the same drain path."""
+        bank = _bank(qmodel, test_group, rounds=1)
+        # In-memory: same session logic, same drain-before-close path.
+        client_chan, box, thread = _serve_in_memory(bank, qmodel, test_group)
+        with pytest.raises(ProtocolError, match="batch"):
+            ClientSession(client_chan, meta, 3, group=test_group)
+        thread.join(timeout=10)
+        assert "batch" in box["result"].error
+        # TCP: repeat to give the close/deny race every chance to fire.
+        with PredictionServer(
+            qmodel, bank, port=0, group=test_group, session_timeout_s=5.0
+        ) as srv:
+            for _ in range(5):
+                with pytest.raises(ProtocolError, match="batch"):
+                    PredictionClient(meta, 3, port=srv.port, group=test_group)
+            srv.wait_idle(timeout_s=30.0)
+            assert srv.metrics()["sessions_failed"] == 5
+        _assert_no_leaked_serve_threads()
+
+    def test_stop_races_accept_without_leaking_threads(
+        self, qmodel, meta, x2, test_group
+    ):
+        """stop() concurrent with connecting clients: the listener closes
+        first, every spawned session thread is joined, and no serving
+        thread outlives the server — at any stop timing."""
+        for attempt in range(3):
+            bank = _bank(qmodel, test_group, rounds=2)
+            srv = PredictionServer(
+                qmodel, bank, port=0, group=test_group, session_timeout_s=5.0
+            ).start()
+
+            def _connect():
+                try:
+                    with PredictionClient(
+                        meta, 2, port=srv.port, group=test_group
+                    ) as client:
+                        client.predict(x2)
+                except (ProtocolError, ChannelError, OSError):
+                    pass  # refused/cut mid-stop: expected at some timings
+
+            clients = [threading.Thread(target=_connect) for _ in range(2)]
+            for t in clients:
+                t.start()
+            time.sleep(0.05 * attempt)  # vary where stop lands in accept
+            srv.stop()
+            for t in clients:
+                t.join(timeout=30)
+                assert not t.is_alive()
+            # The listener really closed: fresh connections are refused.
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", srv.port), timeout=1)
+            _assert_no_leaked_serve_threads()
 
     def test_max_sessions_bounds_concurrency(self, qmodel, meta, x2, test_group):
         """With max_sessions=1, two concurrent clients are serialized —

@@ -1,0 +1,622 @@
+"""Cross-session batching: wide rounds, admission control, sharded bank.
+
+The tentpole contract (docs/PROTOCOLS.md §14): N clients served through
+the :class:`~repro.serve.scheduler.BatchScheduler` receive predictions
+**byte-identical** to N solo sessions consuming the same banked rounds,
+across batch widths, transports, and tracing; admission problems surface
+as structured denies on the grant plane; one crashed batch peer fails
+its group fast and typed without taking the server down.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import ModelMeta, WideServerRound, split_columns, stack_columns
+from repro.errors import ChannelError, ConfigError, ProtocolError
+from repro.net.channel import make_channel_pair
+from repro.net.mux import ChannelMux
+from repro.nn.model import mnist_mlp
+from repro.nn.quantize import quantize_model
+from repro.perf.trace import iter_spans, load_trace
+from repro.quant.fixed_point import FixedPointEncoder
+from repro.quant.fragments import FragmentScheme
+from repro.serve import (
+    BatchScheduler,
+    ClientSession,
+    PredictionClient,
+    PredictionServer,
+    ServerSession,
+    ShardedTripletBank,
+    TripletBank,
+)
+from repro.serve.bank import _SHARD_ROUND_ID_SPAN
+from repro.serve.session import recv_ctrl, send_ctrl
+from repro.utils.ring import Ring
+
+from tests.test_serve import _assert_no_leaked_serve_threads
+
+
+@pytest.fixture(scope="module")
+def qmodel():
+    model = mnist_mlp(seed=7, hidden=4, input_dim=16)
+    return quantize_model(model, FragmentScheme.ternary(), Ring(32), frac_bits=6)
+
+
+@pytest.fixture(scope="module")
+def meta(qmodel):
+    return ModelMeta.from_model(qmodel)
+
+
+def _bank(qmodel, test_group, *, rounds=0, batch=2, **kwargs):
+    kwargs.setdefault("auto_replenish", False)
+    kwargs.setdefault("seed", 11)
+    bank = TripletBank(qmodel, batch, group=test_group, **kwargs)
+    if rounds:
+        bank.fill(rounds)
+    return bank
+
+
+def _inputs(n):
+    """n distinct well-scaled inputs, deterministic per index."""
+    return [
+        np.random.default_rng(1000 + i).normal(scale=0.25, size=(2, 16))
+        for i in range(n)
+    ]
+
+
+def _run_batched_in_memory(
+    qmodel, meta, test_group, inputs, *, window_ms=400.0, batch_max=8,
+    rounds=None, scheduler_kwargs=None, channels=None,
+):
+    """Serve ``len(inputs)`` concurrent in-memory clients via one scheduler.
+
+    Returns ``(per_client, scheduler, server_boxes)`` where ``per_client``
+    maps client index -> ``{"logits", "round_ids", "error"}``.
+    """
+    n = len(inputs)
+    bank = _bank(qmodel, test_group, rounds=n if rounds is None else rounds)
+    sched = BatchScheduler(
+        bank, window_ms=window_ms, batch_max=batch_max,
+        **(scheduler_kwargs or {}),
+    )
+    enc = FixedPointEncoder(qmodel.ring, qmodel.encoder.frac_bits)
+    boxes, server_threads, client_chans = [], [], []
+    for i in range(n):
+        if channels is None:
+            server_chan, client_chan = make_channel_pair(timeout_s=60.0)
+        else:
+            server_chan, client_chan = channels[i]
+        box = {}
+
+        def _srv(server_chan=server_chan, box=box, sid=i + 1):
+            try:
+                box["result"] = ServerSession(
+                    server_chan, qmodel, bank, session_id=sid,
+                    group=test_group, scheduler=sched,
+                ).run()
+            except Exception as exc:  # noqa: BLE001 - surfaced by the test
+                box["exc"] = exc
+
+        thread = threading.Thread(target=_srv, daemon=True)
+        thread.start()
+        boxes.append(box)
+        server_threads.append(thread)
+        client_chans.append(client_chan)
+
+    per_client = {}
+
+    def _client(i):
+        out = {"logits": None, "round_ids": [], "error": None}
+        per_client[i] = out
+        try:
+            session = ClientSession(
+                client_chans[i], meta, 2, group=test_group, seed=500 + i
+            )
+            out["logits"] = session.predict_encoded(enc.encode(inputs[i].T))
+            out["round_ids"] = list(session.round_ids)
+            session.close()
+        except ProtocolError as exc:
+            out["error"] = str(exc)
+
+    client_threads = [
+        threading.Thread(target=_client, args=(i,)) for i in range(n)
+    ]
+    for t in client_threads:
+        t.start()
+    for t in client_threads:
+        t.join(timeout=120)
+    for t in server_threads:
+        t.join(timeout=30)
+    sched.stop()
+    return per_client, sched, boxes
+
+
+def _solo_logits_by_round(qmodel, meta, test_group, inputs_by_round):
+    """Baseline: one keep-alive solo session (identical-seed fresh bank)
+    predicting round 0..K-1 with the input each round got in the batched
+    run; returns ``{round_id: logits}``."""
+    k = len(inputs_by_round)
+    bank = _bank(qmodel, test_group, rounds=k)
+    enc = FixedPointEncoder(qmodel.ring, qmodel.encoder.frac_bits)
+    server_chan, client_chan = make_channel_pair(timeout_s=60.0)
+    box = {}
+
+    def _srv():
+        box["result"] = ServerSession(
+            server_chan, qmodel, bank, session_id=99, group=test_group
+        ).run()
+
+    thread = threading.Thread(target=_srv, daemon=True)
+    thread.start()
+    session = ClientSession(client_chan, meta, 2, group=test_group, seed=42)
+    out = {}
+    for round_id in range(k):
+        out[round_id] = session.predict_encoded(
+            enc.encode(inputs_by_round[round_id].T)
+        )
+        assert session.round_ids[-1] == round_id
+    session.close()
+    thread.join(timeout=30)
+    return out
+
+
+class TestWideServerRound:
+    def test_stack_split_roundtrip(self):
+        blocks = [
+            np.arange(6, dtype=np.uint64).reshape(2, 3),
+            np.arange(8, dtype=np.uint64).reshape(2, 4),
+        ]
+        wide = stack_columns(blocks)
+        assert wide.shape == (2, 7)
+        back = split_columns(wide, [3, 4])
+        for a, b in zip(blocks, back):
+            assert (a == b).all()
+        with pytest.raises(ConfigError):
+            stack_columns([])
+        with pytest.raises(ConfigError):
+            split_columns(wide, [3, 5])
+
+    def test_wide_round_matches_per_client_math(self, qmodel, test_group):
+        """Stacking commutes stage by stage: a width-2 wide round's sliced
+        outputs are bit-identical to two width-1 rounds on the same banked
+        material, through every linear stage."""
+        bank = _bank(qmodel, test_group, rounds=2)
+        rounds = [bank.take(), bank.take()]
+        ring = qmodel.ring
+        rng = np.random.default_rng(3)
+        batch = bank.batch
+
+        def _rand(shape):
+            return ring.reduce(
+                rng.integers(0, 2**32, size=shape, dtype=np.uint64)
+            )
+
+        xs = [_rand((16, batch)) for _ in rounds]
+        wide = WideServerRound(
+            qmodel, [r.server_us for r in rounds], batch,
+            group=test_group, ro=bank.ro,
+        )
+        narrows = [
+            WideServerRound(
+                qmodel, [r.server_us], batch, group=test_group, ro=bank.ro
+            )
+            for r in rounds
+        ]
+        wide.start(xs)
+        for narrow, x in zip(narrows, xs):
+            narrow.start([x])
+        while not wide.complete:
+            got = wide.linear()
+            solo = [narrow.linear()[0] for narrow in narrows]
+            for g, s in zip(got, solo):
+                assert (g == s).all()
+            if wide.complete:
+                break
+            # Stand-in for the per-client interactive ReLU: any blocks of
+            # the right shape must commute identically.
+            zs = [_rand(s.shape) for s in solo]
+            wide.resume(zs)
+            for narrow, z in zip(narrows, zs):
+                narrow.resume([z])
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_batched_equals_sequential_in_memory(
+        self, qmodel, meta, test_group, width
+    ):
+        inputs = _inputs(width)
+        per_client, sched, boxes = _run_batched_in_memory(
+            qmodel, meta, test_group, inputs, batch_max=width
+        )
+        for box in boxes:
+            assert "exc" not in box, box["exc"]
+        # Map each consumed round to the input it served.
+        inputs_by_round = {}
+        for i, out in per_client.items():
+            assert out["error"] is None, out["error"]
+            assert out["round_ids"], f"client {i} got no round"
+            inputs_by_round[out["round_ids"][0]] = inputs[i]
+        assert sorted(inputs_by_round) == list(range(width))
+        metrics = sched.metrics()
+        assert metrics["batch_width_max"] == width  # batching really engaged
+        assert metrics["batched"] == width
+
+        solo = _solo_logits_by_round(qmodel, meta, test_group, inputs_by_round)
+        for i, out in per_client.items():
+            round_id = out["round_ids"][0]
+            # Byte-identical to the solo session on the same banked round
+            # (share-split-dependent truncation included), and exact.
+            assert (out["logits"] == solo[round_id]).all()
+            expect = qmodel.forward_int(qmodel.encoder.encode(inputs[i].T))
+            assert (out["logits"] == expect).all()
+
+    def test_batched_equals_sequential_tcp_traced(
+        self, qmodel, meta, test_group, tmp_path
+    ):
+        """TCP + tracing leg of the equivalence matrix: three concurrent
+        PredictionClients coalesce into one wide round; logits match the
+        solo baseline byte-for-byte and every trace carries the batching
+        attributes."""
+        n = 3
+        inputs = _inputs(n)
+        bank = _bank(qmodel, test_group, rounds=n)
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        per_client = {}
+        with PredictionServer(
+            qmodel, bank, port=0, max_sessions=n, group=test_group, seed=3,
+            batch_window_ms=400.0, batch_max=n, trace_dir=str(trace_dir),
+        ) as srv:
+
+            def _client(i):
+                with PredictionClient(
+                    meta, 2, port=srv.port, group=test_group, seed=300 + i
+                ) as client:
+                    logits, _ = client.predict(inputs[i])
+                    per_client[i] = (logits, list(client.session.round_ids))
+
+            threads = [
+                threading.Thread(target=_client, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            srv.wait_idle(timeout_s=60.0)
+            metrics = srv.metrics()
+            assert metrics["scheduler"]["batch_width_max"] == n
+            assert metrics["scheduler"]["batched_rounds"] == 1
+            assert metrics["scheduler"]["p95_wait_ms"] > 0
+            assert metrics["predictions"] == n
+
+        assert sorted(per_client) == list(range(n))
+        inputs_by_round = {
+            rids[0]: inputs[i] for i, (_, rids) in per_client.items()
+        }
+        solo = _solo_logits_by_round(qmodel, meta, test_group, inputs_by_round)
+        for i, (logits, rids) in per_client.items():
+            assert (logits == solo[rids[0]]).all()
+
+        exported = sorted(trace_dir.glob("session-*.json"))
+        assert len(exported) == n
+        for path in exported:
+            doc = load_trace(str(path))
+            round_spans = [
+                s for p, s in iter_spans(doc) if p.startswith("round0") and "/" not in p
+            ]
+            assert len(round_spans) == 1
+            attrs = round_spans[0]["attrs"]
+            assert attrs["batched"] is True
+            assert attrs["batch_width"] == n
+            assert attrs["batch_wait_ms"] >= 0
+        _assert_no_leaked_serve_threads()
+
+    def test_batched_over_mux_streams(self, qmodel, meta, test_group):
+        """Per-client demux over one underlying channel: each client gets
+        its own mux stream (tag = client id), sessions batch normally."""
+        n = 3
+        inputs = _inputs(n)
+        server_chan, client_chan = make_channel_pair(timeout_s=60.0)
+        server_mux = ChannelMux(server_chan)
+        client_mux = ChannelMux(client_chan)
+        channels = [
+            (server_mux.stream(i + 1), client_mux.stream(i + 1))
+            for i in range(n)
+        ]
+        per_client, sched, boxes = _run_batched_in_memory(
+            qmodel, meta, test_group, inputs, batch_max=n, channels=channels
+        )
+        for box in boxes:
+            assert "exc" not in box, box["exc"]
+        assert sched.metrics()["batch_width_max"] == n
+        for i, out in per_client.items():
+            assert out["error"] is None
+            expect = qmodel.forward_int(qmodel.encoder.encode(inputs[i].T))
+            assert (out["logits"] == expect).all()
+        # MuxChannel.close is stream-local: other streams stayed usable
+        # through every close above, and a closed stream fails typed.
+        with pytest.raises(ChannelError, match="closed"):
+            channels[0][1].send(b"late")
+        server_mux.close()
+        client_mux.close()
+
+
+class TestAdmissionControl:
+    def test_min_bank_depth_denies_then_recovers(self, qmodel, meta, test_group):
+        bank = _bank(qmodel, test_group)  # empty
+        sched = BatchScheduler(bank, window_ms=1.0, min_bank_depth=1)
+        enc = FixedPointEncoder(qmodel.ring, qmodel.encoder.frac_bits)
+        server_chan, client_chan = make_channel_pair(timeout_s=30.0)
+        box = {}
+
+        def _srv():
+            box["result"] = ServerSession(
+                server_chan, qmodel, bank, session_id=1,
+                group=test_group, scheduler=sched,
+            ).run()
+
+        thread = threading.Thread(target=_srv, daemon=True)
+        thread.start()
+        x = _inputs(1)[0]
+        session = ClientSession(client_chan, meta, 2, group=test_group)
+        with pytest.raises(ProtocolError, match="bank depth"):
+            session.predict_encoded(enc.encode(x.T))
+        bank.fill(1)
+        logits = session.predict_encoded(enc.encode(x.T))
+        session.close()
+        thread.join(timeout=30)
+        assert (logits == qmodel.forward_int(qmodel.encoder.encode(x.T))).all()
+        assert sched.metrics()["denied_bank_depth"] == 1
+        assert box["result"].predictions == 1
+
+    def test_queue_depth_denies_cleanly(self, qmodel, meta, test_group):
+        """With max_queued=1 a second concurrent request is denied on the
+        grant plane while the first waits out its window — and the denied
+        session stays usable."""
+        inputs = _inputs(2)
+        bank = _bank(qmodel, test_group, rounds=2)
+        sched = BatchScheduler(
+            bank, window_ms=700.0, batch_max=1, max_queued=1
+        )
+        enc = FixedPointEncoder(qmodel.ring, qmodel.encoder.frac_bits)
+        sessions, threads = [], []
+        for i in range(2):
+            server_chan, client_chan = make_channel_pair(timeout_s=60.0)
+
+            def _srv(server_chan=server_chan, sid=i + 1):
+                ServerSession(
+                    server_chan, qmodel, bank, session_id=sid,
+                    group=test_group, scheduler=sched,
+                ).run()
+
+            t = threading.Thread(target=_srv, daemon=True)
+            t.start()
+            threads.append(t)
+            sessions.append(
+                ClientSession(client_chan, meta, 2, group=test_group)
+            )
+        # batch_max=1 seals client 0's group instantly... so park client 0
+        # inside the *window* by raising batch_max via a fresh group:
+        sched.batch_max = 2
+        box = {}
+
+        def _first():
+            box["logits"] = sessions[0].predict_encoded(enc.encode(inputs[0].T))
+
+        first = threading.Thread(target=_first, daemon=True)
+        first.start()
+        deadline = time.monotonic() + 5.0
+        while sched.metrics()["queued"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(ProtocolError, match="queued"):
+            sessions[1].predict_encoded(enc.encode(inputs[1].T))
+        first.join(timeout=30)
+        assert (
+            box["logits"]
+            == qmodel.forward_int(qmodel.encoder.encode(inputs[0].T))
+        ).all()
+        # The denied session recovers: its next request is granted.
+        logits = sessions[1].predict_encoded(enc.encode(inputs[1].T))
+        assert (
+            logits == qmodel.forward_int(qmodel.encoder.encode(inputs[1].T))
+        ).all()
+        for s in sessions:
+            s.close()
+        for t in threads:
+            t.join(timeout=30)
+        assert sched.metrics()["denied_queue_depth"] == 1
+
+    def test_partial_grant_denies_only_the_tail(self, qmodel, meta, test_group):
+        """Three clients, two banked rounds: the bank grants what it has;
+        exactly one client is denied with the typed exhaustion error."""
+        inputs = _inputs(3)
+        per_client, sched, boxes = _run_batched_in_memory(
+            qmodel, meta, test_group, inputs, batch_max=3, rounds=2
+        )
+        for box in boxes:
+            assert "exc" not in box, box["exc"]
+        served = [o for o in per_client.values() if o["error"] is None]
+        denied = [o for o in per_client.values() if o["error"] is not None]
+        assert len(served) == 2 and len(denied) == 1
+        assert "offline material exhausted" in denied[0]["error"]
+        for i, out in per_client.items():
+            if out["error"] is None:
+                expect = qmodel.forward_int(qmodel.encoder.encode(inputs[i].T))
+                assert (out["logits"] == expect).all()
+        metrics = sched.metrics()
+        assert metrics["denied_exhausted"] == 1
+        assert metrics["batch_width_max"] == 2
+
+    def test_env_var_enables_batching(self, qmodel, test_group, monkeypatch):
+        monkeypatch.setenv("ABNN2_SERVE_BATCH", "1")
+        bank = _bank(qmodel, test_group)
+        srv = PredictionServer(qmodel, bank, port=0, group=test_group)
+        try:
+            assert srv.scheduler is not None
+            assert srv.scheduler.window_ms == 10.0
+        finally:
+            srv.stop()
+        _assert_no_leaked_serve_threads()
+
+
+class TestBlastRadius:
+    def test_peer_crash_fails_group_typed_server_survives(
+        self, qmodel, meta, x2_like, test_group
+    ):
+        """One batch peer crashing mid-round aborts its group fast and
+        typed; the server then serves a fresh client normally."""
+        bank = _bank(qmodel, test_group, rounds=3)
+        with PredictionServer(
+            qmodel, bank, port=0, max_sessions=4, group=test_group,
+            session_timeout_s=10.0, batch_window_ms=500.0, batch_max=2,
+        ) as srv:
+            crasher = PredictionClient(meta, 2, port=srv.port, group=test_group)
+            victim = PredictionClient(meta, 2, port=srv.port, group=test_group)
+            victim_box = {}
+
+            def _victim():
+                try:
+                    victim.predict(x2_like)
+                except (ProtocolError, ChannelError) as exc:
+                    victim_box["error"] = exc
+
+            victim_thread = threading.Thread(target=_victim, daemon=True)
+            # The crasher enters the round and dies after the *grant* —
+            # its slot is granted, so the wide barrier waits on it.
+            send_ctrl(crasher.chan, op="round")
+            victim_thread.start()
+            grant = recv_ctrl(crasher.chan)
+            assert grant["ok"] and grant.get("batched") is True
+            crasher.chan.abort()
+            victim_thread.join(timeout=60)
+            assert "error" in victim_box, "victim should fail with its peer"
+
+            # Blast radius ends at the group: a fresh client is served.
+            with PredictionClient(
+                meta, 2, port=srv.port, group=test_group
+            ) as healthy:
+                logits, _ = healthy.predict(x2_like)
+            assert (
+                logits == qmodel.forward_int(qmodel.encoder.encode(x2_like.T))
+            ).all()
+            srv.wait_idle(timeout_s=60.0)
+            failures = [r for r in srv.records if r.error is not None]
+            assert len(failures) == 2
+            assert any("wide round aborted" in r.error for r in failures)
+        _assert_no_leaked_serve_threads()
+
+
+@pytest.fixture(scope="module")
+def x2_like():
+    return np.random.default_rng(0).normal(scale=0.25, size=(2, 16))
+
+
+class TestShardedBank:
+    def test_round_ids_unique_and_round_robin(self, qmodel, test_group):
+        bank = ShardedTripletBank(
+            qmodel, 2, shards=2, capacity=4, seed=11,
+            auto_replenish=False, group=test_group,
+        )
+        assert bank.fill(4) == 4
+        metrics = bank.metrics()
+        assert metrics["shards"] == 2
+        assert metrics["per_shard_depth"] == [2, 2]
+        assert metrics["rounds_generated"] == 4
+        rounds = bank.take_many(4)
+        ids = sorted(r.round_id for r in rounds)
+        assert ids == [
+            0, 1, _SHARD_ROUND_ID_SPAN, _SHARD_ROUND_ID_SPAN + 1
+        ]
+        with pytest.raises(ProtocolError, match="offline material exhausted"):
+            bank.take(timeout_s=0.0)
+
+    def test_shard_material_is_mask_distinct(self, qmodel, test_group):
+        """Shards derive disjoint seed streams: no two shards may ever
+        deal the same input mask."""
+        bank = ShardedTripletBank(
+            qmodel, 2, shards=2, capacity=2, seed=11,
+            auto_replenish=False, group=test_group,
+        )
+        bank.fill(2)
+        first, second = bank.take(), bank.take()
+        assert (
+            first.client_material["input_mask"]
+            != second.client_material["input_mask"]
+        ).any()
+
+    def test_persistence_per_shard(self, qmodel, test_group, tmp_path):
+        bank = ShardedTripletBank(
+            qmodel, 2, shards=2, capacity=4, seed=11,
+            auto_replenish=False, group=test_group,
+        )
+        bank.fill(4)
+        path = tmp_path / "bank.npz"
+        assert bank.save(path) == 4
+        assert (tmp_path / "bank.npz.shard0").exists()
+        assert (tmp_path / "bank.npz.shard1").exists()
+        reloaded = ShardedTripletBank(
+            qmodel, 2, shards=2, capacity=4, seed=11,
+            auto_replenish=False, group=test_group,
+        )
+        assert reloaded.load(path) == 4
+        metrics = reloaded.metrics()
+        assert metrics["rounds_generated"] == 0
+        assert metrics["generation_payload_bytes"] == 0
+        assert metrics["rounds_loaded"] == 4
+        a, b = bank.take(), reloaded.take()
+        assert a.round_id == b.round_id
+        for u_orig, u_loaded in zip(a.server_us, b.server_us):
+            assert (u_orig == u_loaded).all()
+
+    def test_serves_batched_predictions(self, qmodel, meta, test_group):
+        """End-to-end: a sharded bank behind the scheduler serves a wide
+        round with rounds drawn round-robin from both shards."""
+        n = 2
+        inputs = _inputs(n)
+        bank = ShardedTripletBank(
+            qmodel, 2, shards=2, capacity=2, seed=11,
+            auto_replenish=False, group=test_group,
+        )
+        bank.fill(2)
+        sched = BatchScheduler(bank, window_ms=400.0, batch_max=n)
+        enc = FixedPointEncoder(qmodel.ring, qmodel.encoder.frac_bits)
+        per_client = {}
+        server_threads = []
+        client_threads = []
+        for i in range(n):
+            server_chan, client_chan = make_channel_pair(timeout_s=60.0)
+
+            def _srv(server_chan=server_chan, sid=i + 1):
+                ServerSession(
+                    server_chan, qmodel, bank, session_id=sid,
+                    group=test_group, scheduler=sched,
+                ).run()
+
+            def _cli(client_chan=client_chan, i=i):
+                session = ClientSession(client_chan, meta, 2, group=test_group)
+                per_client[i] = (
+                    session.predict_encoded(enc.encode(inputs[i].T)),
+                    list(session.round_ids),
+                )
+                session.close()
+
+            st = threading.Thread(target=_srv, daemon=True)
+            ct = threading.Thread(target=_cli, daemon=True)
+            st.start()
+            ct.start()
+            server_threads.append(st)
+            client_threads.append(ct)
+        for t in client_threads + server_threads:
+            t.join(timeout=120)
+        sched.stop()
+        assert sched.metrics()["batch_width_max"] == n
+        all_ids = sorted(r for _, rids in per_client.values() for r in rids)
+        assert all_ids == [0, _SHARD_ROUND_ID_SPAN]  # one round per shard
+        for i, (logits, _) in per_client.items():
+            expect = qmodel.forward_int(qmodel.encoder.encode(inputs[i].T))
+            assert (logits == expect).all()
