@@ -242,6 +242,7 @@ def cmd_predict(args) -> int:
 
 def _demo_trace(args) -> dict:
     """Run a small in-process secure prediction and return its client trace."""
+    from repro.core.pipeline import PipelineConfig
     from repro.core.protocol import secure_predict
     from repro.crypto.group import MODP_TEST
 
@@ -250,8 +251,13 @@ def _demo_trace(args) -> dict:
     qmodel = quantize_model(model, scheme, Ring(args.ring))
     rng = np.random.default_rng(0)
     x = rng.random((args.batch, qmodel.layers[0].in_features))
+    pipeline = None
+    if args.pipeline:
+        pipeline = PipelineConfig(
+            chunk=args.gc_stream_chunk, window=args.gc_stream_window
+        )
     print("running demo secure prediction to produce a trace...", file=sys.stderr)
-    report = secure_predict(qmodel, x, group=MODP_TEST, seed=0)
+    report = secure_predict(qmodel, x, group=MODP_TEST, seed=0, pipeline=pipeline)
     return report.client_trace
 
 
@@ -439,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ring", type=int, default=32, choices=(16, 32, 64))
     p.add_argument("--hidden", type=int, default=8)
     p.add_argument("--batch", type=int, default=2)
+    p.add_argument(
+        "--pipeline", action="store_true",
+        help="run the demo with the layer-pipelined online phase "
+        "(streamed garbling over per-layer mux streams)",
+    )
+    p.add_argument(
+        "--gc-stream-chunk", type=int, default=None,
+        help="AND gates per streamed garbled-table block "
+        "(bounds peak GC memory; default: whole circuit in one block)",
+    )
+    p.add_argument(
+        "--gc-stream-window", type=int, default=8,
+        help="max unacked table chunks in flight on each GC stream",
+    )
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("cost", help="rank fragment schemes by Table-1 cost")

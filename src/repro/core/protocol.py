@@ -24,14 +24,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.matmul import SecureMatmulClient, SecureMatmulServer
+from repro.core.pipeline import (
+    GarbleStreamWorker,
+    PipelineConfig,
+    build_stream_jobs,
+    send_label_pairs,
+    streamed_relu_server,
+)
+from repro.core.plan import MAIN_STREAM, LayerGraphPlan, build_plan
 from repro.core.pooling import avgpool_share, maxpool_client, maxpool_server
 from repro.core.relu import relu_layer_client, relu_layer_server, truncate_share
 from repro.core.triplets import TripletConfig
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
-from repro.errors import ConfigError, ProtocolError
+from repro.errors import ChannelError, ConfigError, ProtocolError
 from repro.gc.protocol import GcSessions
 from repro.net.channel import Channel
+from repro.net.mux import ChannelMux
 from repro.net.runner import run_protocol
 from repro.perf.trace import Tracer
 from repro.nn.quantize import QuantizedModel
@@ -132,6 +141,7 @@ class _PartyBase:
         ro: RandomOracle = default_ro,
         seed: int | None = None,
         tracer: Tracer | None = None,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         if batch < 1:
             raise ConfigError("batch must be positive")
@@ -144,6 +154,9 @@ class _PartyBase:
         self.ring = Ring(meta.ring_bits)
         self.rng = make_rng(seed)
         self._seed = seed
+        self.pipeline = pipeline
+        self._mux: ChannelMux | None = None
+        self._gc_mux: GcSessions | None = None
         self.tracer = tracer if tracer is not None else Tracer(
             party="server" if chan.party == 0 else "client"
         )
@@ -151,6 +164,48 @@ class _PartyBase:
         chan.tracer = self.tracer
         self.offline_stats: PhaseStats | None = None
         self.online_stats: PhaseStats | None = None
+
+    @property
+    def plan(self) -> LayerGraphPlan:
+        """The sequential layer-graph plan for this party's architecture."""
+        return build_plan(self.meta, self.relu_variant, pipelined=False)
+
+    def _pipelined_plan(self) -> LayerGraphPlan | None:
+        """The pipelined plan, or ``None`` when pipelining cannot run.
+
+        Degrades gracefully: no :class:`PipelineConfig`, a transport that
+        opts out of mux framing (``chan.supports_mux = False`` — a
+        *transport* property, so both endpoints agree), or an
+        architecture/variant with nothing streamable (e.g. the optimized
+        ReLU, whose stage-2 tables depend on online-revealed signs) all
+        fall back to the sequential executor over the raw channel.
+        """
+        if self.pipeline is None:
+            return None
+        if not getattr(self.chan, "supports_mux", True):
+            return None
+        plan = build_plan(self.meta, self.relu_variant, pipelined=True)
+        if not plan.streamed:
+            return None
+        return plan
+
+    def _ensure_mux(self, role: str) -> ChannelMux:
+        """The persistent mux + main-stream GC session for this party.
+
+        Created once and reused across online rounds so the per-stream
+        sequence numbers and the amortized base OTs survive round
+        boundaries, mirroring how the raw-channel ``_gc`` session does.
+        """
+        if self._mux is None:
+            self._mux = ChannelMux(self.chan)
+            self._gc_mux = GcSessions(
+                self._mux.stream(MAIN_STREAM),
+                role,
+                group=self.group,
+                ro=self.ro,
+                seed=self._seed,
+            )
+        return self._mux
 
     def _layer_config(self, layer: LayerMeta) -> TripletConfig:
         return TripletConfig(
@@ -279,54 +334,134 @@ class Abnn2Server(_PartyBase):
 
     def online(self) -> np.ndarray:
         """Run one prediction batch; returns the server's logit share
-        (already transmitted to the client).  Consumes one offline round."""
+        (already transmitted to the client).  Consumes one offline round
+        — but only a round that *completed*: a fault mid-round leaves the
+        banked material queued, so the round is genuinely re-runnable
+        (the linear engines never mutate their triplet shares)."""
         if not self._pending:
             raise ProtocolError(
                 "offline material exhausted: call offline(rounds=...) first "
                 "(checked before any bytes cross the wire)"
             )
-        matmuls = self._pending.pop(0)
+        matmuls = self._pending[0]
+        plan = self._pipelined_plan()
+        if plan is not None:
+            run = lambda: self._online_pipelined(matmuls, plan)  # noqa: E731
+        else:
+            seq_plan = self.plan
+            run = lambda: self._online_sequential(matmuls, seq_plan)  # noqa: E731
+        y0 = self._track_phase("online", run)
+        self._pending.pop(0)
+        return y0
 
-        def _run():
-            with self.tracer.span("input-share"):
-                share0 = self.ring.reduce(self.chan.recv())  # <x>_0 from the client
-            for idx, (layer, matmul) in enumerate(zip(self.model.layers, matmuls)):
-                meta = self.meta.layers[idx]
+    def _linear_layer(self, matmuls, idx: int, share0: np.ndarray) -> np.ndarray:
+        """One linear node: ``W <z>_0 + U + b`` plus conv lowering/lifting
+        inside the layer's matmul span, then (hidden layers) truncation."""
+        layer = self.model.layers[idx]
+        meta = self.meta.layers[idx]
+        with self.tracer.span(
+            f"layer{idx}/matmul", m=meta.matmul_rows, n=meta.matmul_cols,
+            o=self.batch * meta.batch_multiplier(),
+        ):
+            operand = lower_shares(layer.conv, share0) if layer.conv else share0
+            y0 = matmuls[idx].online(operand)
+            y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+            if layer.conv:
+                y0 = lift_output(layer.conv, layer.shape[0], y0)
+        if idx < len(self.model.layers) - 1:
+            y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
+        return y0
+
+    def _pool_layer(self, chan, sessions, idx: int, share0: np.ndarray) -> np.ndarray:
+        layer = self.model.layers[idx]
+        with self.tracer.span(f"layer{idx}/pool", kind=layer.pool.kind):
+            if layer.pool.kind == "avg":
+                return avgpool_share(self.ring, layer.pool, share0, party=0)
+            return maxpool_server(chan, layer.pool, share0, sessions, self.ring)
+
+    def _online_sequential(self, matmuls, plan: LayerGraphPlan) -> np.ndarray:
+        """Plan-driven walk emitting the historical sequential transcript."""
+        share0 = y0 = None
+        for node in plan:
+            if node.kind == "input":
+                with self.tracer.span("input-share"):
+                    share0 = self.ring.reduce(self.chan.recv())  # <x>_0
+            elif node.kind == "linear":
+                y0 = self._linear_layer(matmuls, node.layer, share0)
+            elif node.kind == "relu":
+                meta = self.meta.layers[node.layer]
                 with self.tracer.span(
-                    f"layer{idx}/matmul", m=meta.matmul_rows, n=meta.matmul_cols,
-                    o=self.batch * meta.batch_multiplier(),
+                    f"layer{node.layer}/relu", variant=self.relu_variant,
+                    n_relus=meta.relu_features * self.batch,
+                    ring_bits=self.ring.bits,
                 ):
-                    operand = lower_shares(layer.conv, share0) if layer.conv else share0
-                    y0 = matmul.online(operand)
-                    y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
-                    if layer.conv:
-                        y0 = lift_output(layer.conv, layer.shape[0], y0)
-                if idx < len(self.model.layers) - 1:
-                    y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
-                    with self.tracer.span(
-                        f"layer{idx}/relu", variant=self.relu_variant,
-                        n_relus=meta.relu_features * self.batch,
-                        ring_bits=self.ring.bits,
-                    ):
-                        share0 = relu_layer_server(
-                            self.chan, y0, self._gc, self.ring, self.relu_variant
-                        )
-                    if layer.pool:
-                        with self.tracer.span(f"layer{idx}/pool", kind=layer.pool.kind):
-                            if layer.pool.kind == "avg":
-                                share0 = avgpool_share(
-                                    self.ring, layer.pool, share0, party=0
-                                )
-                            else:
-                                share0 = maxpool_server(
-                                    self.chan, layer.pool, share0, self._gc, self.ring
-                                )
-                else:
-                    with self.tracer.span("logits-share"):
-                        self.chan.send(y0)
-                    return y0
+                    share0 = relu_layer_server(
+                        self.chan, y0, self._gc, self.ring, self.relu_variant
+                    )
+            elif node.kind == "pool":
+                share0 = self._pool_layer(self.chan, self._gc, node.layer, share0)
+            else:  # logits
+                with self.tracer.span("logits-share"):
+                    self.chan.send(y0)
+        return y0
 
-        return self._track_phase("online", _run)
+    def _online_pipelined(self, matmuls, plan: LayerGraphPlan) -> np.ndarray:
+        """Evaluator side of the pipelined plan.
+
+        Single-threaded: the sequential round structure (input share,
+        label OTs, pooling, logits) runs on the mux main stream while
+        each streamable ReLU's chunked tables are consumed from that
+        node's own stream — frames the client streamed ahead while this
+        side was still busy with earlier layers.
+        """
+        mux = self._ensure_mux("evaluator")
+        main = mux.stream(MAIN_STREAM)
+        saved_tracer = getattr(self.chan, "tracer", None)
+        self.chan.tracer = None  # bytes are attributed per stream instead
+        main.tracer = self.tracer
+        try:
+            share0 = y0 = None
+            for node in plan:
+                if node.kind == "input":
+                    with self.tracer.span("input-share"):
+                        share0 = self.ring.reduce(main.recv())
+                elif node.kind == "linear":
+                    y0 = self._linear_layer(matmuls, node.layer, share0)
+                elif node.kind == "relu":
+                    meta = self.meta.layers[node.layer]
+                    with self.tracer.span(
+                        f"layer{node.layer}/relu", variant=self.relu_variant,
+                        n_relus=meta.relu_features * self.batch,
+                        ring_bits=self.ring.bits, streamed=node.streamable,
+                    ) as span:
+                        if node.streamable:
+                            gstream = mux.stream(node.stream)
+                            gstream.tracer = self.tracer
+                            share0, info = streamed_relu_server(
+                                gstream, y0, self._gc_mux, self.ring,
+                                ro=self.ro, tracer=self.tracer,
+                            )
+                            span.attrs["stream_chunks"] = info["chunks"]
+                            span.attrs["peak_table_bytes"] = info["peak_table_bytes"]
+                        else:
+                            share0 = relu_layer_server(
+                                main, y0, self._gc_mux, self.ring, self.relu_variant
+                            )
+                elif node.kind == "pool":
+                    share0 = self._pool_layer(main, self._gc_mux, node.layer, share0)
+                else:  # logits
+                    with self.tracer.span("logits-share"):
+                        main.send(y0)
+            return y0
+        except ChannelError as exc:
+            mux.abort(exc)
+            raise ProtocolError(f"pipelined online round failed: {exc}") from exc
+        except BaseException as exc:
+            mux.abort(exc)
+            raise
+        finally:
+            main.tracer = None
+            self.chan.tracer = saved_tracer
 
 
 class Abnn2Client(_PartyBase):
@@ -509,58 +644,174 @@ class Abnn2Client(_PartyBase):
         expected = (self.meta.layers[0].in_features, self.batch)
         if x.shape != expected:
             raise ConfigError(f"expected input of shape {expected}, got {x.shape}")
-        material = self._pending.pop(0)
+        material = self._pending[0]
+        plan = self._pipelined_plan()
+        if plan is not None:
+            run = lambda: self._online_pipelined(material, plan, x)  # noqa: E731
+        else:
+            seq_plan = self.plan
+            run = lambda: self._online_sequential(material, seq_plan, x)  # noqa: E731
+        logits = self._track_phase("online", run)
+        # Only a completed round consumes the bank (mirrors the server).
+        self._pending.pop(0)
+        return logits
 
-        def _run():
-            # <x>_0 = x - r travels in flat form; each party lowers its
-            # own share locally where a conv layer needs it.
-            with self.tracer.span("input-share"):
-                self.chan.send(self.ring.sub(x, material["input_mask"]))
-            logits = None
-            for idx, (layer, matmul) in enumerate(
-                zip(self.meta.layers, material["matmuls"])
-            ):
+    def _linear_layer(self, material, idx: int) -> np.ndarray:
+        """One linear node: ``y1 = V`` (wire-free) plus conv lifting inside
+        the matmul span, then (hidden layers) truncation."""
+        layer = self.meta.layers[idx]
+        with self.tracer.span(
+            f"layer{idx}/matmul", m=layer.matmul_rows, n=layer.matmul_cols,
+            o=self.batch * layer.batch_multiplier(),
+        ):
+            y1 = material["matmuls"][idx].online()
+            if layer.conv:
+                y1 = lift_output(layer.conv, layer.matmul_rows, y1)
+        if idx < len(self.meta.layers) - 1:
+            y1 = truncate_share(self.ring, y1, layer.truncate_bits, party=1)
+        return y1
+
+    def _online_sequential(self, material, plan: LayerGraphPlan, x) -> np.ndarray:
+        """Plan-driven walk emitting the historical sequential transcript."""
+        logits = y1 = z1_relu = None
+        for node in plan:
+            if node.kind == "input":
+                # <x>_0 = x - r travels in flat form; each party lowers its
+                # own share locally where a conv layer needs it.
+                with self.tracer.span("input-share"):
+                    self.chan.send(self.ring.sub(x, material["input_mask"]))
+            elif node.kind == "linear":
+                y1 = self._linear_layer(material, node.layer)
+            elif node.kind == "relu":
+                layer = self.meta.layers[node.layer]
                 with self.tracer.span(
-                    f"layer{idx}/matmul", m=layer.matmul_rows, n=layer.matmul_cols,
-                    o=self.batch * layer.batch_multiplier(),
+                    f"layer{node.layer}/relu", variant=self.relu_variant,
+                    n_relus=layer.relu_features * self.batch,
+                    ring_bits=self.ring.bits,
                 ):
-                    y1 = matmul.online()
-                    if layer.conv:
-                        y1 = lift_output(layer.conv, layer.matmul_rows, y1)
-                if idx < len(self.meta.layers) - 1:
-                    y1 = truncate_share(self.ring, y1, layer.truncate_bits, party=1)
-                    with self.tracer.span(
-                        f"layer{idx}/relu", variant=self.relu_variant,
-                        n_relus=layer.relu_features * self.batch,
-                        ring_bits=self.ring.bits,
-                    ):
-                        z1_relu = relu_layer_client(
+                    z1_relu = relu_layer_client(
+                        self.chan,
+                        y1,
+                        material["relu_shares"][node.layer],
+                        self._gc,
+                        self.ring,
+                        self.rng,
+                        self.relu_variant,
+                    )
+            elif node.kind == "pool":
+                layer = self.meta.layers[node.layer]
+                if layer.pool.kind == "max":
+                    with self.tracer.span(f"layer{node.layer}/pool", kind="max"):
+                        maxpool_client(
                             self.chan,
-                            y1,
-                            material["relu_shares"][idx],
+                            layer.pool,
+                            z1_relu,
+                            material["pool_shares"][node.layer],
                             self._gc,
                             self.ring,
                             self.rng,
-                            self.relu_variant,
                         )
-                    if layer.pool is not None and layer.pool.kind == "max":
-                        with self.tracer.span(f"layer{idx}/pool", kind="max"):
-                            maxpool_client(
-                                self.chan,
-                                layer.pool,
-                                z1_relu,
-                                material["pool_shares"][idx],
-                                self._gc,
-                                self.ring,
-                                self.rng,
-                            )
-                else:
-                    with self.tracer.span("logits-share"):
-                        y0 = self.ring.reduce(self.chan.recv())
-                    logits = self.ring.add(y0, y1)
-            return logits
+                # avg pooling is share-local and applied to the *next*
+                # operand offline; the client does nothing here.
+            else:  # logits
+                with self.tracer.span("logits-share"):
+                    y0 = self.ring.reduce(self.chan.recv())
+                logits = self.ring.add(y0, y1)
+        return logits
 
-        return self._track_phase("online", _run)
+    def _online_pipelined(self, material, plan: LayerGraphPlan, x) -> np.ndarray:
+        """Garbler side of the pipelined plan.
+
+        Every linear share ``y1`` is offline-known (the banked ``V``), so
+        all of them — and from them every streamable ReLU's garbler input
+        bits — are computed up front; a background
+        :class:`~repro.core.pipeline.GarbleStreamWorker` then garbles and
+        streams each layer's tables on its own stream while this thread
+        walks the sequential round structure on the main stream.  Per
+        layer only the label OT (the server's online ``y0`` bits) stays
+        on the critical path.
+        """
+        mux = self._ensure_mux("garbler")
+        main = mux.stream(MAIN_STREAM)
+        saved_tracer = getattr(self.chan, "tracer", None)
+        self.chan.tracer = None  # bytes are attributed per stream instead
+        main.tracer = self.tracer
+        worker = None
+        try:
+            y1s = {
+                node.layer: self._linear_layer(material, node.layer)
+                for node in plan.linear_nodes
+            }
+            worker = GarbleStreamWorker(
+                mux,
+                build_stream_jobs(
+                    plan, material["relu_shares"], y1s, self.ring, self._seed
+                ),
+                self.pipeline,
+                ro=self.ro,
+            )
+            worker.start()
+            logits = None
+            for node in plan:
+                if node.kind == "input":
+                    with self.tracer.span("input-share"):
+                        main.send(self.ring.sub(x, material["input_mask"]))
+                elif node.kind == "linear":
+                    pass  # computed up front
+                elif node.kind == "relu":
+                    layer = self.meta.layers[node.layer]
+                    with self.tracer.span(
+                        f"layer{node.layer}/relu", variant=self.relu_variant,
+                        n_relus=layer.relu_features * self.batch,
+                        ring_bits=self.ring.bits, streamed=node.streamable,
+                    ) as span:
+                        if node.streamable:
+                            send_label_pairs(
+                                self._gc_mux,
+                                worker.pairs(node.name, mux.timeout_s),
+                            )
+                            info, wtracer = worker.result(node.name, mux.timeout_s)
+                            span.attrs["stream_chunks"] = info["chunks"]
+                            span.attrs["peak_table_bytes"] = info["peak_table_bytes"]
+                            self.tracer.adopt(
+                                wtracer, "gc-stream",
+                                layer=node.layer, stream=node.stream,
+                                chunks=info["chunks"],
+                                peak_unacked_chunks=info["peak_unacked_chunks"],
+                            )
+                        else:
+                            relu_layer_client(
+                                main, y1s[node.layer],
+                                material["relu_shares"][node.layer],
+                                self._gc_mux, self.ring, self.rng,
+                                self.relu_variant,
+                            )
+                elif node.kind == "pool":
+                    layer = self.meta.layers[node.layer]
+                    if layer.pool.kind == "max":
+                        with self.tracer.span(f"layer{node.layer}/pool", kind="max"):
+                            maxpool_client(
+                                main, layer.pool,
+                                self.ring.reduce(material["relu_shares"][node.layer]),
+                                material["pool_shares"][node.layer],
+                                self._gc_mux, self.ring, self.rng,
+                            )
+                else:  # logits
+                    with self.tracer.span("logits-share"):
+                        y0 = self.ring.reduce(main.recv())
+                    logits = self.ring.add(y0, y1s[len(self.meta.layers) - 1])
+            return logits
+        except ChannelError as exc:
+            mux.abort(exc)
+            raise ProtocolError(f"pipelined online round failed: {exc}") from exc
+        except BaseException as exc:
+            mux.abort(exc)
+            raise
+        finally:
+            if worker is not None:
+                worker.join(timeout=mux.timeout_s + 1.0)
+            main.tracer = None
+            self.chan.tracer = saved_tracer
 
 
 # --------------------------------------------------------------------- #
@@ -640,6 +891,11 @@ class WideServerRound:
         self.width = len(us_per_client)
         self.wide_batch = batch * self.width
         self.n_layers = len(model.layers)
+        # The same layer-graph plan the per-client executors walk: the
+        # wide round advances one linear node per :meth:`linear` call, so
+        # batching and pipelining agree on layer structure by construction.
+        self.plan = build_plan(self.meta, pipelined=False)
+        self._linear_nodes = self.plan.linear_nodes
         self._matmuls: list[SecureMatmulServer] = []
         for idx, layer in enumerate(model.layers):
             meta = self.meta.layers[idx]
@@ -666,7 +922,7 @@ class WideServerRound:
     @property
     def complete(self) -> bool:
         """True once the final linear layer has been computed."""
-        return self._layer >= self.n_layers
+        return self._layer >= len(self._linear_nodes)
 
     def _split(self, wide: np.ndarray) -> list[np.ndarray]:
         return split_columns(wide, [self.batch] * self.width)
@@ -698,7 +954,7 @@ class WideServerRound:
             raise ProtocolError("wide round has no pending operand")
         if self.complete:
             raise ProtocolError("wide round already computed all layers")
-        idx = self._layer
+        idx = self._linear_nodes[self._layer].layer
         layer = self.model.layers[idx]
         share0, self._operand = self._operand, None
         operand = lower_shares(layer.conv, share0) if layer.conv else share0
@@ -723,7 +979,7 @@ class WideServerRound:
             raise ConfigError(
                 f"wide round spans {self.width} clients, got {len(z0_blocks)} blocks"
             )
-        layer = self.model.layers[self._layer - 1]
+        layer = self.model.layers[self._linear_nodes[self._layer - 1].layer]
         share0 = self.ring.reduce(stack_columns(z0_blocks))
         if layer.pool is not None and layer.pool.kind == "avg":
             share0 = avgpool_share(self.ring, layer.pool, share0, party=0)
@@ -770,6 +1026,7 @@ def _joint_predict(
     seed: int | None = 0,
     timeout_s: float = 600.0,
     channels=None,
+    pipeline: PipelineConfig | None = None,
 ) -> PredictionReport:
     """Shared driver for ABNN2 and the baseline predictors."""
     x = np.atleast_2d(np.asarray(x_float, dtype=np.float64))
@@ -780,7 +1037,7 @@ def _joint_predict(
     def server_fn(chan: Channel):
         server = server_cls(
             chan, model, batch, relu_variant=relu_variant, group=group, ro=ro,
-            seed=None if seed is None else seed + 1,
+            seed=None if seed is None else seed + 1, pipeline=pipeline,
         )
         server.offline()
         server.online()
@@ -789,7 +1046,7 @@ def _joint_predict(
     def client_fn(chan: Channel):
         client = client_cls(
             chan, meta, batch, relu_variant=relu_variant, group=group, ro=ro,
-            seed=None if seed is None else seed + 2,
+            seed=None if seed is None else seed + 2, pipeline=pipeline,
         )
         client.offline()
         logits = client.online(x_ring)
@@ -824,6 +1081,7 @@ def secure_predict(
     seed: int | None = 0,
     timeout_s: float = 600.0,
     channels=None,
+    pipeline: PipelineConfig | None = None,
 ) -> PredictionReport:
     """Run the complete two-party prediction on one machine (two threads).
 
@@ -832,6 +1090,8 @@ def secure_predict(
     split a deployment would see.  ``channels`` overrides the default
     in-memory pair with explicit (server, client) endpoints — e.g. TCP
     channels or :class:`~repro.net.faults.FaultyChannel` wrappers.
+    ``pipeline`` turns on the layer-pipelined online phase with streamed
+    garbling (see :mod:`repro.core.pipeline`) on both parties.
     """
     return _joint_predict(
         Abnn2Server,
@@ -844,4 +1104,5 @@ def secure_predict(
         seed=seed,
         timeout_s=timeout_s,
         channels=channels,
+        pipeline=pipeline,
     )

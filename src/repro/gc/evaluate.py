@@ -17,6 +17,28 @@ from repro.gc.garble import LABEL_WORDS, _check_poison, _label_buffer, _LabelHas
 _U64 = np.uint64
 
 
+def _evaluate_and(
+    active: np.ndarray,
+    gate,
+    g_idx: int,
+    hasher: _LabelHasher,
+    t_g: np.ndarray,
+    t_e: np.ndarray,
+) -> None:
+    """Evaluate one AND gate in place (mirror of ``garble._garble_and``).
+
+    Shared by the one-shot :func:`evaluate` and the chunked streamer
+    (:mod:`repro.gc.stream`) so the two paths cannot drift.
+    """
+    w_a = active[gate.a]
+    w_b = active[gate.b]
+    s_a = (w_a[:, 0] & _U64(1)).astype(bool)
+    s_b = (w_b[:, 0] & _U64(1)).astype(bool)
+    w_g = hasher(w_a, 2 * g_idx) ^ np.where(s_a[:, None], t_g, _U64(0))
+    w_e = hasher(w_b, 2 * g_idx + 1) ^ np.where(s_b[:, None], t_e ^ w_a, _U64(0))
+    active[gate.out] = w_g ^ w_e
+
+
 def evaluate(
     circuit: Circuit,
     tables: np.ndarray,
@@ -52,17 +74,9 @@ def evaluate(
         elif gate.op == GateOp.INV:
             active[gate.out] = active[gate.a]  # garbler flipped the decode side
         else:
-            w_a = active[gate.a]
-            w_b = active[gate.b]
-            s_a = (w_a[:, 0] & _U64(1)).astype(bool)
-            s_b = (w_b[:, 0] & _U64(1)).astype(bool)
-            t_g = tables[and_idx, :, 0]
-            t_e = tables[and_idx, :, 1]
-            w_g = hasher(w_a, 2 * g_idx) ^ np.where(s_a[:, None], t_g, _U64(0))
-            w_e = hasher(w_b, 2 * g_idx + 1) ^ np.where(
-                s_b[:, None], t_e ^ w_a, _U64(0)
+            _evaluate_and(
+                active, gate, g_idx, hasher, tables[and_idx, :, 0], tables[and_idx, :, 1]
             )
-            active[gate.out] = w_g ^ w_e
             and_idx += 1
 
     out = active[circuit.outputs].copy()

@@ -122,17 +122,19 @@ class GarbledCircuit:
         return (outs[..., 0] & _U64(1)).astype(np.uint8)
 
 
-def garble(
-    circuit: Circuit,
-    n_inst: int,
-    rng: np.random.Generator,
-    ro: RandomOracle = default_ro,
-) -> GarbledCircuit:
-    """Garble ``circuit`` for ``n_inst`` parallel instances."""
+def _sample_input_labels(
+    circuit: Circuit, n_inst: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fresh ``(label0, offset)`` with every input wire's label sampled.
+
+    The RNG call sequence is part of the transcript-determinism contract:
+    both :func:`garble` and the chunked streamer
+    (:mod:`repro.gc.stream`) draw labels through this one helper, so a
+    fixed seed yields the same labels regardless of chunking.
+    """
     if n_inst < 1:
         raise CryptoError("need at least one instance")
-    n_wires = circuit.n_wires
-    label0 = _label_buffer((n_wires, n_inst, LABEL_WORDS))
+    label0 = _label_buffer((circuit.n_wires, n_inst, LABEL_WORDS))
     offset = rng.integers(0, 1 << 63, size=LABEL_WORDS, dtype=_U64)
     offset = (offset << _U64(1)) | rng.integers(0, 2, size=LABEL_WORDS, dtype=_U64)
     offset[0] |= _U64(1)  # lsb(R) = 1: point-and-permute select bits work
@@ -143,6 +145,52 @@ def garble(
         0, 2, size=(len(input_wires), n_inst, LABEL_WORDS), dtype=_U64
     )
     label0[input_wires] = raw
+    return label0, offset
+
+
+def _garble_and(
+    label0: np.ndarray,
+    offset: np.ndarray,
+    gate,
+    g_idx: int,
+    hasher: _LabelHasher,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Garble one AND gate: writes ``label0[gate.out]``, returns (T_G, T_E).
+
+    Shared by the one-shot :func:`garble` and the chunked streamer so the
+    two paths cannot drift gate-math-wise.
+    """
+    a0 = label0[gate.a]
+    b0 = label0[gate.b]
+    a1 = a0 ^ offset
+    b1 = b0 ^ offset
+    p_a = (a0[:, 0] & _U64(1)).astype(bool)
+    p_b = (b0[:, 0] & _U64(1)).astype(bool)
+
+    h_a0 = hasher(a0, 2 * g_idx)
+    h_a1 = hasher(a1, 2 * g_idx)
+    h_b0 = hasher(b0, 2 * g_idx + 1)
+    h_b1 = hasher(b1, 2 * g_idx + 1)
+
+    # Garbler half gate.
+    t_g = h_a0 ^ h_a1 ^ np.where(p_b[:, None], offset[None, :], _U64(0))
+    w_g0 = h_a0 ^ np.where(p_a[:, None], t_g, _U64(0))
+    # Evaluator half gate.
+    t_e = h_b0 ^ h_b1 ^ a0
+    w_e0 = h_b0 ^ np.where(p_b[:, None], t_e ^ a0, _U64(0))
+
+    label0[gate.out] = w_g0 ^ w_e0
+    return t_g, t_e
+
+
+def garble(
+    circuit: Circuit,
+    n_inst: int,
+    rng: np.random.Generator,
+    ro: RandomOracle = default_ro,
+) -> GarbledCircuit:
+    """Garble ``circuit`` for ``n_inst`` parallel instances."""
+    label0, offset = _sample_input_labels(circuit, n_inst, rng)
 
     n_and = circuit.and_count
     tables = _label_buffer((n_and, n_inst, 2, LABEL_WORDS))
@@ -154,26 +202,7 @@ def garble(
         elif gate.op == GateOp.INV:
             label0[gate.out] = label0[gate.a] ^ offset
         else:
-            a0 = label0[gate.a]
-            b0 = label0[gate.b]
-            a1 = a0 ^ offset
-            b1 = b0 ^ offset
-            p_a = (a0[:, 0] & _U64(1)).astype(bool)
-            p_b = (b0[:, 0] & _U64(1)).astype(bool)
-
-            h_a0 = hasher(a0, 2 * g_idx)
-            h_a1 = hasher(a1, 2 * g_idx)
-            h_b0 = hasher(b0, 2 * g_idx + 1)
-            h_b1 = hasher(b1, 2 * g_idx + 1)
-
-            # Garbler half gate.
-            t_g = h_a0 ^ h_a1 ^ np.where(p_b[:, None], offset[None, :], _U64(0))
-            w_g0 = h_a0 ^ np.where(p_a[:, None], t_g, _U64(0))
-            # Evaluator half gate.
-            t_e = h_b0 ^ h_b1 ^ a0
-            w_e0 = h_b0 ^ np.where(p_b[:, None], t_e ^ a0, _U64(0))
-
-            label0[gate.out] = w_g0 ^ w_e0
+            t_g, t_e = _garble_and(label0, offset, gate, g_idx, hasher)
             tables[and_idx, :, 0] = t_g
             tables[and_idx, :, 1] = t_e
             and_idx += 1

@@ -155,6 +155,13 @@ class FaultyChannel:
         # live there: only delivered traffic is attributed to spans.
         self._inner.tracer = value
 
+    @property
+    def timeout_s(self) -> float:
+        # The mux sizes its recv deadline from the transport's timeout;
+        # without this delegation a faulted pipelined run would stall
+        # for the mux default instead of the configured bound.
+        return self._inner.timeout_s
+
     def recv(self):
         return self._inner.recv()
 

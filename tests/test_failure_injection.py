@@ -1,16 +1,25 @@
 """Failure injection: protocols must fail loudly, not corrupt silently."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
+from repro.core.pipeline import PipelineConfig
+from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta
 from repro.core.triplets import (
     TripletConfig,
     generate_triplets_client,
     generate_triplets_server,
 )
+from repro.crypto.group import MODP_TEST
 from repro.errors import ChannelError, CryptoError, ProtocolError, ReproError
 from repro.net import make_channel_pair, run_protocol
 from repro.net.channel import Channel
+from repro.net.faults import FaultPlan, FaultSpec, FaultyChannel
+from repro.nn.model import mnist_mlp
+from repro.nn.quantize import quantize_model
 from repro.quant.fragments import FragmentScheme
 from repro.utils.ring import Ring
 
@@ -165,3 +174,189 @@ class TestShapeConfusion:
         got = ring.add(result.server, result.client)
         expect = ring.matmul(ring.reduce(w), r)
         assert (got != expect).any()
+
+
+# --------------------------------------------------------------------- #
+# streamed-GC fault fuzz (pipelined online over FaultyChannel)
+# --------------------------------------------------------------------- #
+FUZZ_TIMEOUT_S = 3.0
+FUZZ_DEADLINE_S = 25.0
+FUZZ_CHUNK = 4  # 94 AND gates at l=32 -> 24 table-block frames per layer
+
+
+class _StreamFuzzEnv:
+    """Small pipelined workload + fault-free reference send counts."""
+
+    def __init__(self):
+        model = mnist_mlp(seed=5, hidden=6, input_dim=8, classes=3)
+        self.qmodel = quantize_model(
+            model, FragmentScheme.ternary(), Ring(32), frac_bits=6
+        )
+        self.meta = ModelMeta.from_model(self.qmodel)
+        self.x_ring = self.qmodel.encoder.encode(
+            np.random.default_rng(7).normal(size=(1, 8)).T
+        )
+        marks = {}
+
+        def server_fn(chan):
+            server = self._server(chan)
+            server.offline(rounds=1)
+            server.online()
+            return server
+
+        def client_fn(chan):
+            client = self._client(chan)
+            client.offline(rounds=1)
+            marks["offline_sends"] = chan.stats.messages_sent[1]
+            logits = client.online(self.x_ring)
+            marks["total_sends"] = chan.stats.messages_sent[1]
+            return logits
+
+        result = run_protocol(server_fn, client_fn, timeout_s=30.0)
+        self.ref_logits = result.client
+        self.client_offline_sends = marks["offline_sends"]
+        self.client_online_sends = marks["total_sends"] - marks["offline_sends"]
+        assert self.client_online_sends > 20  # the stream really is chunked
+
+    def _server(self, chan, pipelined=True):
+        return Abnn2Server(
+            chan, self.qmodel, 1, group=MODP_TEST, seed=31,
+            pipeline=PipelineConfig(chunk=FUZZ_CHUNK) if pipelined else None,
+        )
+
+    def _client(self, chan, pipelined=True):
+        return Abnn2Client(
+            chan, self.meta, 1, group=MODP_TEST, seed=32,
+            pipeline=PipelineConfig(chunk=FUZZ_CHUNK) if pipelined else None,
+        )
+
+
+@pytest.fixture(scope="module")
+def fuzz_env():
+    return _StreamFuzzEnv()
+
+
+def _run_faulted_online(env, fault_plan, pipelined=True):
+    """Fault-free offline, then one online round with the client's sends
+    routed through ``FaultyChannel``.  Returns (server, client, errors)
+    where ``errors[name]`` is the exception that party raised (if any).
+    """
+    server_chan, client_chan = make_channel_pair(timeout_s=FUZZ_TIMEOUT_S)
+    parties: dict = {}
+    errors: dict = {}
+
+    def server_fn():
+        server = parties["server"] = env._server(server_chan, pipelined)
+        try:
+            server.offline(rounds=1)
+            server.online()
+        except BaseException as exc:  # noqa: BLE001
+            errors["server"] = exc
+            server_chan.close()  # wake a peer parked on a dead stream
+
+    def client_fn():
+        client = parties["client"] = env._client(
+            FaultyChannel(client_chan, fault_plan), pipelined
+        )
+        try:
+            client.offline(rounds=1)
+            client.online(env.x_ring)
+        except BaseException as exc:  # noqa: BLE001
+            errors["client"] = exc
+            client_chan.close()
+
+    threads = [
+        threading.Thread(target=server_fn, name="fuzz-server", daemon=True),
+        threading.Thread(target=client_fn, name="fuzz-client", daemon=True),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=FUZZ_DEADLINE_S)
+    assert not any(t.is_alive() for t in threads), "faulted party hung"
+    return parties["server"], parties["client"], errors
+
+
+class TestStreamedGcFaultFuzz:
+    """FaultPlan mid-chunk on the GC table stream: typed failure on both
+    parties, no leaked worker threads, no consumed bank round."""
+
+    @pytest.mark.parametrize("kind", ["drop", "truncate", "corrupt", "stall"])
+    @pytest.mark.parametrize("offset", [2, 9, 17])
+    def test_fault_mid_stream_fails_typed_on_both_parties(
+        self, fuzz_env, kind, offset
+    ):
+        assert offset < fuzz_env.client_online_sends
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    kind=kind,
+                    message_index=fuzz_env.client_offline_sends + offset,
+                    seed=offset,
+                )
+            ]
+        )
+        before = set(threading.enumerate())
+        start = time.monotonic()
+        server, client, errors = _run_faulted_online(fuzz_env, plan)
+        assert time.monotonic() - start < FUZZ_DEADLINE_S
+        assert client.chan.fired, "the scheduled fault never fired"
+        # Both parties surface ProtocolError (the pipelined executor and
+        # the stream wrap transport faults into the protocol taxonomy).
+        assert isinstance(errors.get("server"), ProtocolError), errors.get("server")
+        assert isinstance(errors.get("client"), ProtocolError), errors.get("client")
+        # The aborted round was not consumed on either side.
+        assert server.rounds_available == 1
+        assert client.rounds_available == 1
+        # The garbler worker thread exited with the abort.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = [
+                t for t in threading.enumerate()
+                if t not in before and t.is_alive()
+            ]
+            if not leaked:
+                break
+            time.sleep(0.01)
+        assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+
+
+class TestBankDepthAfterAbort:
+    """Regression for the online() consume-on-entry bug: a round aborted
+    mid-flight must stay banked and remain genuinely re-runnable."""
+
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_aborted_round_stays_banked_and_reruns(self, fuzz_env, pipelined):
+        env = fuzz_env
+        plan = FaultPlan(
+            [FaultSpec(kind="drop", message_index=env.client_offline_sends + 2)]
+        )
+        server, client, errors = _run_faulted_online(env, plan, pipelined)
+        assert isinstance(
+            errors.get("server"), (ChannelError, ProtocolError)
+        ), errors.get("server")
+        assert isinstance(
+            errors.get("client"), (ChannelError, ProtocolError)
+        ), errors.get("client")
+        assert server.rounds_available == 1
+        assert client.rounds_available == 1
+
+        # Re-runnable, not merely counted: the surviving material predicts
+        # correctly when exported into fresh parties on a fresh channel.
+        server_material = server.export_offline_round()
+        client_material = client.export_offline_round()
+        assert server.rounds_available == 0
+        assert client.rounds_available == 0
+
+        def retry_server(chan):
+            fresh = env._server(chan, pipelined)
+            fresh.load_offline_round(server_material)
+            fresh.online()
+
+        def retry_client(chan):
+            fresh = env._client(chan, pipelined)
+            fresh.load_offline_round(client_material)
+            return fresh.online(env.x_ring)
+
+        result = run_protocol(retry_server, retry_client, timeout_s=30.0)
+        assert (result.client == env.ref_logits).all()
