@@ -33,9 +33,9 @@ class SecureMatmulServer:
         self.chan = chan
         self.config = config
         self.w_int = np.asarray(w_int, dtype=np.int64)
-        if self.w_int.shape != (config.m, config.n):
+        if self.w_int.shape != config.w_shape:
             raise ConfigError(
-                f"W shape {self.w_int.shape} disagrees with config {(config.m, config.n)}"
+                f"W shape {self.w_int.shape} disagrees with config {config.w_shape}"
             )
         self._seed = seed
         self._u: np.ndarray | None = None
@@ -52,9 +52,9 @@ class SecureMatmulServer:
         shape validation, so no OT traffic happens on this channel.
         """
         u_arr = self.config.ring.reduce(u)
-        if u_arr.shape != (self.config.m, self.config.o):
+        if u_arr.shape != self.config.out_shape:
             raise ConfigError(
-                f"expected U of shape {(self.config.m, self.config.o)}, got {u_arr.shape}"
+                f"expected U of shape {self.config.out_shape}, got {u_arr.shape}"
             )
         self._u = u_arr
 
@@ -65,14 +65,28 @@ class SecureMatmulServer:
         return self._u
 
     def online(self, z0_share: np.ndarray) -> np.ndarray:
-        """Local step: ``<Y>_0 = W <Z>_0 + U`` (no communication)."""
-        ring = self.config.ring
+        """Local step: ``<Y>_0 = W <Z>_0 + U`` (no communication).
+
+        With ``config.groups > 1`` the product is block-diagonal: output
+        block ``g`` is ``W[g m:(g+1) m] @ <Z>_0[g n:(g+1) n]``.
+        """
+        config = self.config
+        ring = config.ring
         z0 = ring.reduce(z0_share)
-        if z0.shape != (self.config.n, self.config.o):
+        if z0.shape != config.r_shape:
             raise ConfigError(
-                f"expected share of shape {(self.config.n, self.config.o)}, got {z0.shape}"
+                f"expected share of shape {config.r_shape}, got {z0.shape}"
             )
-        return ring.add(ring.matmul(ring.reduce(self.w_int), z0), self.u)
+        w = ring.reduce(self.w_int)
+        if config.groups == 1:
+            return ring.add(ring.matmul(w, z0), self.u)
+        prod = ring.zeros(config.out_shape)
+        m, n = config.m, config.n
+        for g in range(config.groups):
+            prod[g * m : (g + 1) * m] = ring.matmul(
+                w[g * m : (g + 1) * m], z0[g * n : (g + 1) * n]
+            )
+        return ring.add(prod, self.u)
 
 
 class SecureMatmulClient:
@@ -91,11 +105,11 @@ class SecureMatmulClient:
         self._rng = rng
         self._seed = seed
         if r_mat is None:
-            r_mat = config.ring.sample(rng, (config.n, config.o))
+            r_mat = config.ring.sample(rng, config.r_shape)
         self.r = config.ring.reduce(r_mat)
-        if self.r.shape != (config.n, config.o):
+        if self.r.shape != config.r_shape:
             raise ConfigError(
-                f"R shape {self.r.shape} disagrees with config {(config.n, config.o)}"
+                f"R shape {self.r.shape} disagrees with config {config.r_shape}"
             )
         self._v: np.ndarray | None = None
 
@@ -112,9 +126,9 @@ class SecureMatmulClient:
         offline rounds dealt to a session by the serving layer.
         """
         v_arr = self.config.ring.reduce(v)
-        if v_arr.shape != (self.config.m, self.config.o):
+        if v_arr.shape != self.config.out_shape:
             raise ConfigError(
-                f"expected V of shape {(self.config.m, self.config.o)}, got {v_arr.shape}"
+                f"expected V of shape {self.config.out_shape}, got {v_arr.shape}"
             )
         self._v = v_arr
 

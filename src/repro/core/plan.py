@@ -61,6 +61,11 @@ class PlanNode:
     the sequential path.  ``streamable`` marks nodes whose garbler-side
     material is a pure function of offline state and may therefore be
     garbled and transferred ahead of the round structure.
+
+    ``backend`` (linear nodes) records which lowering the layer's secure
+    product uses — ``"im2col"`` or ``"winograd"`` — so every executor
+    (sequential, pipelined, wide) resolves the same choice from the plan
+    rather than re-deriving it.
     """
 
     name: str
@@ -69,6 +74,11 @@ class PlanNode:
     deps: tuple[str, ...]
     stream: int = MAIN_STREAM
     streamable: bool = False
+    backend: str = "im2col"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("im2col", "winograd"):
+            raise ConfigError(f"unknown linear backend {self.backend!r}")
 
 
 @dataclass(frozen=True)
@@ -139,7 +149,10 @@ def build_plan(
     prev = "input"
     n_layers = len(meta.layers)
     for idx, layer in enumerate(meta.layers):
-        linear = PlanNode(f"linear{idx}", "linear", idx, (prev,))
+        linear = PlanNode(
+            f"linear{idx}", "linear", idx, (prev,),
+            backend=getattr(layer, "backend", "im2col"),
+        )
         nodes.append(linear)
         prev = linear.name
         if idx == n_layers - 1:

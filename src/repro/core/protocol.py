@@ -44,7 +44,22 @@ from repro.net.mux import ChannelMux
 from repro.net.runner import run_protocol
 from repro.perf.trace import Tracer
 from repro.nn.quantize import QuantizedModel
-from repro.nn.lowering import Im2colSpec, PoolSpec, lift_output, lower_shares
+from repro.nn.lowering import (
+    Im2colSpec,
+    PoolSpec,
+    conv_bias_vector,
+    lift_output,
+    lower_shares,
+)
+from repro.nn.winograd import (
+    WINOGRAD_TILE_POINTS,
+    WinogradSpec,
+    divide_share_by4,
+    lift_tiles,
+    lower_tiles,
+    transform_weights,
+    winograd_scheme,
+)
 from repro.quant.fragments import FragmentScheme
 from repro.utils.ring import Ring
 from repro.utils.rng import make_rng
@@ -57,6 +72,14 @@ class LayerMeta:
     ``conv`` carries the im2col geometry for convolution layers; for
     those, ``matmul_rows/cols`` describe the lowered product while
     ``in_features``/``out_features`` stay in flat-activation terms.
+
+    ``backend`` selects the conv lowering (``"im2col"`` or
+    ``"winograd"``).  A winograd layer's secure product is *grouped*:
+    16 block-diagonal ``(C_out, C_in) x (C_in, batch * n_tiles)``
+    products over the transformed operand (see
+    :mod:`repro.nn.winograd`), and its triplet/OT scheme is the
+    *transformed-weight* scheme (public, derived from the layer scheme's
+    weight range).
     """
 
     out_features: int
@@ -65,6 +88,7 @@ class LayerMeta:
     truncate_bits: int
     conv: Im2colSpec | None = None
     pool: PoolSpec | None = None
+    backend: str = "im2col"
 
     @property
     def relu_features(self) -> int:
@@ -72,6 +96,13 @@ class LayerMeta:
         if self.pool:
             return self.pool.in_features
         return self.out_features
+
+    @property
+    def wino(self) -> WinogradSpec | None:
+        """Tile geometry when this layer runs the winograd backend."""
+        if self.backend != "winograd":
+            return None
+        return WinogradSpec.from_im2col(self.conv)
 
     @property
     def matmul_rows(self) -> int:
@@ -82,11 +113,31 @@ class LayerMeta:
 
     @property
     def matmul_cols(self) -> int:
-        """n of the secure product (patch length for conv)."""
+        """n of the secure product (patch length for conv, in_channels
+        per tile point for winograd)."""
+        if self.backend == "winograd":
+            return self.conv.in_channels
         return self.conv.patch_len if self.conv else self.in_features
 
+    @property
+    def matmul_groups(self) -> int:
+        """Block-diagonal group count of the secure product (16 tile
+        points for winograd, 1 otherwise)."""
+        return WINOGRAD_TILE_POINTS if self.backend == "winograd" else 1
+
+    @property
+    def ot_scheme(self) -> FragmentScheme:
+        """The fragment scheme the offline OTs actually decompose: the
+        layer scheme, or its transformed-weight widening for winograd."""
+        if self.backend == "winograd":
+            return winograd_scheme(self.scheme)
+        return self.scheme
+
     def batch_multiplier(self) -> int:
-        """Factor on the triplet batch o (output positions for conv)."""
+        """Factor on the triplet batch o (output positions for conv,
+        tile count for winograd)."""
+        if self.backend == "winograd":
+            return self.wino.n_tiles
         return self.conv.n_positions if self.conv else 1
 
 
@@ -109,10 +160,36 @@ class ModelMeta:
                 truncate_bits=layer.truncate_bits,
                 conv=layer.conv,
                 pool=layer.pool,
+                backend=layer.backend,
             )
             for layer in model.layers
         )
         return cls(layers=layers, ring_bits=model.ring.bits, frac_bits=model.encoder.frac_bits)
+
+
+def layer_triplet_config(
+    ring: Ring,
+    layer: LayerMeta,
+    batch: int,
+    group: ModpGroup = DEFAULT_GROUP,
+    ro: RandomOracle = default_ro,
+) -> TripletConfig:
+    """The offline triplet configuration for one linear layer.
+
+    Shared by the per-party executors and :class:`WideServerRound` so
+    the grouped winograd shape (``groups=16``, transformed-weight OT
+    scheme) can never diverge between the solo and batched paths.
+    """
+    return TripletConfig(
+        ring=ring,
+        scheme=layer.ot_scheme,
+        m=layer.matmul_rows,
+        n=layer.matmul_cols,
+        o=batch * layer.batch_multiplier(),
+        group=group,
+        ro=ro,
+        groups=layer.matmul_groups,
+    )
 
 
 @dataclass
@@ -208,14 +285,8 @@ class _PartyBase:
         return self._mux
 
     def _layer_config(self, layer: LayerMeta) -> TripletConfig:
-        return TripletConfig(
-            ring=self.ring,
-            scheme=layer.scheme,
-            m=layer.matmul_rows,
-            n=layer.matmul_cols,
-            o=self.batch * layer.batch_multiplier(),
-            group=self.group,
-            ro=self.ro,
+        return layer_triplet_config(
+            self.ring, layer, self.batch, group=self.group, ro=self.ro
         )
 
     def _track_phase(self, label: str, fn):
@@ -239,16 +310,31 @@ class _PartyBase:
         """Span for one layer's offline triplet generation, carrying the
         public dimensions the conformance checker feeds the cost model."""
         config = self._layer_config(layer)
+        # m is the *stacked* row count (groups * m): the grouped product
+        # runs gamma * rows * n OTs of o columns each, which is exactly
+        # what the closed-form cost model prices for an (m, n, o) triple,
+        # so conformance stays byte-exact for both backends.
         return self.tracer.span(
             f"layer{idx}/triplets",
-            m=config.m,
+            m=config.rows,
             n=config.n,
             o=config.o,
             ring_bits=self.ring.bits,
             mode=config.resolved_mode,
-            frag_n_values=[frag.n_values for frag in layer.scheme.fragments],
+            frag_n_values=[frag.n_values for frag in config.scheme.fragments],
+            groups=config.groups,
+            backend=layer.backend,
             round=round_idx,
         )
+
+
+def _matmul_weights(layer, meta: LayerMeta) -> np.ndarray:
+    """The weight matrix the secure product actually multiplies: the
+    stored im2col form, or its winograd transform ``G2 g G2^T`` stacked
+    per tile point (both are public structure; values stay secret)."""
+    if meta.backend == "winograd":
+        return transform_weights(meta.wino, layer.w_int)
+    return layer.w_int
 
 
 class Abnn2Server(_PartyBase):
@@ -281,7 +367,7 @@ class Abnn2Server(_PartyBase):
                 for idx, layer in enumerate(self.model.layers):
                     server = self.matmul_server_cls(
                         self.chan,
-                        layer.w_int,
+                        _matmul_weights(layer, self.meta.layers[idx]),
                         self._layer_config(self.meta.layers[idx]),
                         seed=None
                         if self._seed is None
@@ -326,7 +412,9 @@ class Abnn2Server(_PartyBase):
         matmuls = []
         for idx, (layer, u) in enumerate(zip(self.model.layers, us)):
             server = self.matmul_server_cls(
-                self.chan, layer.w_int, self._layer_config(self.meta.layers[idx])
+                self.chan,
+                _matmul_weights(layer, self.meta.layers[idx]),
+                self._layer_config(self.meta.layers[idx]),
             )
             server.preload(u)
             matmuls.append(server)
@@ -362,12 +450,28 @@ class Abnn2Server(_PartyBase):
         with self.tracer.span(
             f"layer{idx}/matmul", m=meta.matmul_rows, n=meta.matmul_cols,
             o=self.batch * meta.batch_multiplier(),
+            groups=meta.matmul_groups, backend=meta.backend,
         ):
-            operand = lower_shares(layer.conv, share0) if layer.conv else share0
-            y0 = matmuls[idx].online(operand)
-            y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
-            if layer.conv:
+            if meta.backend == "winograd":
+                wspec = meta.wino
+                operand = lower_tiles(wspec, share0, self.ring)
+                y0 = matmuls[idx].online(operand)
+                y0 = lift_tiles(wspec, layer.shape[0], y0, self.ring)
+                # The reconstructed lifted value is exactly 4 * (W * z);
+                # both parties divide their share locally (exact w.h.p.,
+                # see repro.nn.winograd.divide_share_by4).
+                y0 = divide_share_by4(self.ring, y0, party=0)
+                bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
+                y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
+            elif layer.conv:
+                operand = lower_shares(layer.conv, share0)
+                y0 = matmuls[idx].online(operand)
                 y0 = lift_output(layer.conv, layer.shape[0], y0)
+                bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
+                y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
+            else:
+                y0 = matmuls[idx].online(share0)
+                y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
         if idx < len(self.model.layers) - 1:
             y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
         return y0
@@ -495,7 +599,12 @@ class Abnn2Client(_PartyBase):
                 )
                 input_mask = operand
                 for idx, layer in enumerate(self.meta.layers):
-                    r_mat = lower_shares(layer.conv, operand) if layer.conv else operand
+                    if layer.backend == "winograd":
+                        r_mat = lower_tiles(layer.wino, operand, self.ring)
+                    elif layer.conv:
+                        r_mat = lower_shares(layer.conv, operand)
+                    else:
+                        r_mat = operand
                     client = self.matmul_client_cls(
                         self.chan,
                         self._layer_config(layer),
@@ -599,7 +708,7 @@ class Abnn2Client(_PartyBase):
             # The banked V already embeds R; the online path never needs R
             # again, so the engine gets a placeholder operand.
             client = self.matmul_client_cls(
-                self.chan, config, self.rng, r_mat=self.ring.zeros((config.n, config.o))
+                self.chan, config, self.rng, r_mat=self.ring.zeros(config.r_shape)
             )
             client.preload(vs[idx])
             matmuls.append(client)
@@ -663,9 +772,13 @@ class Abnn2Client(_PartyBase):
         with self.tracer.span(
             f"layer{idx}/matmul", m=layer.matmul_rows, n=layer.matmul_cols,
             o=self.batch * layer.batch_multiplier(),
+            groups=layer.matmul_groups, backend=layer.backend,
         ):
             y1 = material["matmuls"][idx].online()
-            if layer.conv:
+            if layer.backend == "winograd":
+                y1 = lift_tiles(layer.wino, layer.matmul_rows, y1, self.ring)
+                y1 = divide_share_by4(self.ring, y1, party=1)
+            elif layer.conv:
                 y1 = lift_output(layer.conv, layer.matmul_rows, y1)
         if idx < len(self.meta.layers) - 1:
             y1 = truncate_share(self.ring, y1, layer.truncate_bits, party=1)
@@ -899,16 +1012,10 @@ class WideServerRound:
         self._matmuls: list[SecureMatmulServer] = []
         for idx, layer in enumerate(model.layers):
             meta = self.meta.layers[idx]
-            config = TripletConfig(
-                ring=self.ring,
-                scheme=meta.scheme,
-                m=meta.matmul_rows,
-                n=meta.matmul_cols,
-                o=self.wide_batch * meta.batch_multiplier(),
-                group=group,
-                ro=ro,
+            config = layer_triplet_config(
+                self.ring, meta, self.wide_batch, group=group, ro=ro
             )
-            engine = SecureMatmulServer(None, layer.w_int, config)
+            engine = SecureMatmulServer(None, _matmul_weights(layer, meta), config)
             # A client's U covers batch*multiplier columns; clients'
             # images are contiguous in the image-major wide layout, so
             # concatenation in client order *is* the wide U.
@@ -956,12 +1063,28 @@ class WideServerRound:
             raise ProtocolError("wide round already computed all layers")
         idx = self._linear_nodes[self._layer].layer
         layer = self.model.layers[idx]
+        meta = self.meta.layers[idx]
         share0, self._operand = self._operand, None
-        operand = lower_shares(layer.conv, share0) if layer.conv else share0
-        y0 = self._matmuls[idx].online(operand)
-        y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
-        if layer.conv:
+        if meta.backend == "winograd":
+            # Tile lowering/lifting orders columns image-major, and the
+            # wide layout keeps each client's images contiguous, so this
+            # is bit-identical to the solo rounds (same banked U).
+            wspec = meta.wino
+            operand = lower_tiles(wspec, share0, self.ring)
+            y0 = self._matmuls[idx].online(operand)
+            y0 = lift_tiles(wspec, layer.shape[0], y0, self.ring)
+            y0 = divide_share_by4(self.ring, y0, party=0)
+            bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
+            y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
+        elif layer.conv:
+            operand = lower_shares(layer.conv, share0)
+            y0 = self._matmuls[idx].online(operand)
             y0 = lift_output(layer.conv, layer.shape[0], y0)
+            bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
+            y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
+        else:
+            y0 = self._matmuls[idx].online(share0)
+            y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
         if idx < self.n_layers - 1:
             y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
         self._layer += 1

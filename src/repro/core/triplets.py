@@ -56,6 +56,15 @@ class TripletConfig:
 
     Both parties must construct identical configs (the model architecture
     and scheme are public); shapes are (m, n) for W and (n, o) for R.
+
+    ``groups > 1`` runs a *block-diagonal* product over one OT session:
+    W is stacked ``(groups * m, n)``, R stacked ``(groups * n, o)``, and
+    block ``g`` of the output is ``W[g m:(g+1) m] @ R[g n:(g+1) n]`` —
+    the shape the Winograd backend's 16 per-tile-position products take
+    (:mod:`repro.nn.winograd`).  The OT layout is unchanged (flat index
+    still runs over all ``rows * n`` weight elements); only the client's
+    R-row lookup becomes group-aware, and ``groups=1`` reduces to the
+    historical wire format byte-for-byte.
     """
 
     ring: Ring
@@ -66,12 +75,33 @@ class TripletConfig:
     mode: str = "auto"  # "auto" | "multi" | "one"
     group: ModpGroup = DEFAULT_GROUP
     ro: RandomOracle = field(default_factory=lambda: default_ro)
+    groups: int = 1
 
     def __post_init__(self) -> None:
         if min(self.m, self.n, self.o) < 1:
             raise ConfigError("matrix dimensions must be positive")
+        if self.groups < 1:
+            raise ConfigError("groups must be positive")
         if self.mode not in ("auto", "multi", "one"):
             raise ConfigError(f"unknown triplet mode {self.mode!r}")
+
+    @property
+    def rows(self) -> int:
+        """Stacked output rows: ``groups * m`` (equals ``m`` when ungrouped)."""
+        return self.groups * self.m
+
+    @property
+    def w_shape(self) -> tuple[int, int]:
+        return (self.rows, self.n)
+
+    @property
+    def r_shape(self) -> tuple[int, int]:
+        return (self.groups * self.n, self.o)
+
+    @property
+    def out_shape(self) -> tuple[int, int]:
+        """Shape of U, V, and the online product share."""
+        return (self.rows, self.o)
 
     @property
     def resolved_mode(self) -> str:
@@ -94,8 +124,8 @@ class TripletConfig:
 
     @property
     def total_ots(self) -> int:
-        """gamma * m * n — Table 1's #OT row for both ABNN2 modes."""
-        return self.scheme.gamma * self.m * self.n
+        """gamma * rows * n — Table 1's #OT row for both ABNN2 modes."""
+        return self.scheme.gamma * self.rows * self.n
 
 
 def _flat_coords(start: int, count: int, n: int, k_count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -136,7 +166,7 @@ def server_group_span(
         if mode == "multi"
         else packed_word_count(1, ring.bits)
     )
-    u = ring.zeros((config.m, config.o))
+    u = ring.zeros(config.out_shape)
     for lo in range(start, stop, chunk):
         hi = min(stop, lo + chunk)
         batch = choices[lo:hi]
@@ -162,7 +192,7 @@ def server_group_span(
             opened = cipher[np.arange(count), chosen] ^ pad_val
             values = np.where(batch == 0, ring.neg(pad_val), opened)[:, None]
         # bincount-based segment sum; np.add.at is a numpy slow path.
-        u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.m))
+        u = ring.add(u, segment_sum_u64(ring.reduce(values), i_idx, config.rows))
     return u
 
 
@@ -187,13 +217,16 @@ def client_group_span(
     """
     ring = config.ring
     mode = config.resolved_mode
-    v = ring.zeros((config.m, config.o))
+    v = ring.zeros(config.out_shape)
     for lo in range(start, stop, chunk):
         hi = min(stop, lo + chunk)
         count = hi - lo
         i_idx, j_idx, k_pos = _flat_coords(lo, count, config.n, k_count)
         vals = value_table[k_pos]  # (count, N)
-        r_rows = r[j_idx]  # (count, o)
+        # Group-aware R row: stacked row i belongs to block i // m, whose
+        # operand rows start at (i // m) * n.  Reduces to r[j_idx] when
+        # groups == 1 (i // m is then always 0).
+        r_rows = r[(i_idx // config.m) * config.n + j_idx]  # (count, o)
         products = ring.mul(vals[:, :, None], r_rows[:, None, :])  # (count, N, o)
         if mode == "multi":
             s = ring.sample(rng, (count, config.o))
@@ -211,7 +244,7 @@ def client_group_span(
             cipher = messages ^ pad_val[:, 1:]
             with channel_span(chan, "ot-transfer", m=count):
                 chan.send(pack_ring_words(cipher.reshape(1, -1), ring.bits)[0])
-        v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.m))
+        v = ring.add(v, segment_sum_u64(ring.reduce(s), i_idx, config.rows))
     return v
 
 
@@ -224,20 +257,20 @@ def generate_triplets_server(
     config: TripletConfig,
     seed: int | None = None,
 ) -> np.ndarray:
-    """Server side; returns ``U`` of shape ``(m, o)`` ring elements."""
+    """Server side; returns ``U`` of shape ``(rows, o)`` ring elements."""
     w = np.asarray(w_int, dtype=np.int64)
-    if w.shape != (config.m, config.n):
-        raise ConfigError(f"expected W of shape {(config.m, config.n)}, got {w.shape}")
+    if w.shape != config.w_shape:
+        raise ConfigError(f"expected W of shape {config.w_shape}, got {w.shape}")
     ring = config.ring
-    digits = config.scheme.digits(w)  # (m, n, gamma)
+    digits = config.scheme.digits(w)  # (rows, n, gamma)
     mode = config.resolved_mode
 
-    u = ring.zeros((config.m, config.o))
+    u = ring.zeros(config.out_shape)
     for n_values, k_list in config.radix_groups:
         group_seed = None if seed is None else seed + n_values
         with channel_span(
             chan, f"radix{n_values}", n_values=n_values, fragments=len(k_list),
-            m=config.m, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
+            m=config.rows, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
         ):
             receiver = Kk13Receiver(
                 chan, n_values, group=config.group, ro=config.ro, seed=group_seed
@@ -263,19 +296,19 @@ def generate_triplets_client(
     rng: np.random.Generator,
     seed: int | None = None,
 ) -> np.ndarray:
-    """Client side; returns ``V`` of shape ``(m, o)`` ring elements."""
+    """Client side; returns ``V`` of shape ``(rows, o)`` ring elements."""
     r = np.asarray(r_mat, dtype=_U64)
-    if r.shape != (config.n, config.o):
-        raise ConfigError(f"expected R of shape {(config.n, config.o)}, got {r.shape}")
+    if r.shape != config.r_shape:
+        raise ConfigError(f"expected R of shape {config.r_shape}, got {r.shape}")
     ring = config.ring
     mode = config.resolved_mode
 
-    v = ring.zeros((config.m, config.o))
+    v = ring.zeros(config.out_shape)
     for n_values, k_list in config.radix_groups:
         group_seed = None if seed is None else seed + n_values
         with channel_span(
             chan, f"radix{n_values}", n_values=n_values, fragments=len(k_list),
-            m=config.m, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
+            m=config.rows, n=config.n, o=config.o, ring_bits=ring.bits, mode=mode,
         ):
             sender = Kk13Sender(
                 chan, n_values, group=config.group, ro=config.ro, seed=group_seed
@@ -284,7 +317,7 @@ def generate_triplets_client(
             value_table = ring.reduce(
                 np.stack([config.scheme.values(k) for k in k_list])
             )  # (|K|, N)
-            total = config.m * config.n * len(k_list)
+            total = config.rows * config.n * len(k_list)
             v = ring.add(
                 v,
                 client_group_span(

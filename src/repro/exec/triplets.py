@@ -171,7 +171,7 @@ def _run_engine(chan, config: TripletConfig, plan: ShardPlan, shard_body, stats_
 def _server_shard(stream, s, config, plan, ot_seed, groups):
     """Server-side shard body; ``groups`` is ``(n_values, k_count, choices)``."""
     ring = config.ring
-    u_s = ring.zeros((config.m, config.o))
+    u_s = ring.zeros(config.out_shape)
     for n_values, k_count, choices in groups:
         lo, hi = plan.span_bounds(choices.shape[0], s)
         if lo >= hi:
@@ -195,9 +195,9 @@ def _server_shard(stream, s, config, plan, ot_seed, groups):
 def _client_shard(stream, s, config, plan, ot_seed, rng, groups, r):
     """Client-side shard body; ``groups`` is ``(n_values, k_count, value_table)``."""
     ring = config.ring
-    v_s = ring.zeros((config.m, config.o))
+    v_s = ring.zeros(config.out_shape)
     for n_values, k_count, value_table in groups:
-        total = config.m * config.n * k_count
+        total = config.rows * config.n * k_count
         lo, hi = plan.span_bounds(total, s)
         if lo >= hi:
             continue
@@ -265,8 +265,8 @@ def parallel_triplets_server(
     ``seed``/``shards``/``chunk_ots``.
     """
     w = np.asarray(w_int, dtype=np.int64)
-    if w.shape != (config.m, config.n):
-        raise ConfigError(f"expected W of shape {(config.m, config.n)}, got {w.shape}")
+    if w.shape != config.w_shape:
+        raise ConfigError(f"expected W of shape {config.w_shape}, got {w.shape}")
     ring = config.ring
     digits = config.scheme.digits(w)
     groups = [
@@ -301,7 +301,7 @@ def parallel_triplets_server(
         if bundle is not None:
             bundle.close()
             bundle.unlink()
-    u = ring.zeros((config.m, config.o))
+    u = ring.zeros(config.out_shape)
     for part in parts:
         u = ring.add(u, part)
     return ring.reduce(u)
@@ -323,8 +323,8 @@ def parallel_triplets_client(
     single stream, for worker-count independence.
     """
     r = np.asarray(r_mat, dtype=_U64)
-    if r.shape != (config.n, config.o):
-        raise ConfigError(f"expected R of shape {(config.n, config.o)}, got {r.shape}")
+    if r.shape != config.r_shape:
+        raise ConfigError(f"expected R of shape {config.r_shape}, got {r.shape}")
     ring = config.ring
     groups = [
         (
@@ -360,7 +360,7 @@ def parallel_triplets_client(
         if bundle is not None:
             bundle.close()
             bundle.unlink()
-    v = ring.zeros((config.m, config.o))
+    v = ring.zeros(config.out_shape)
     for part in parts:
         v = ring.add(v, part)
     return ring.reduce(v)

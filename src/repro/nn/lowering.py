@@ -27,20 +27,37 @@ from repro.errors import ConfigError
 
 @dataclass(frozen=True)
 class Im2colSpec:
-    """Geometry of one conv layer's input lowering."""
+    """Geometry of one conv layer's input lowering.
+
+    ``allow_gaps`` opts into ``stride > kernel`` geometries, where the
+    sliding window skips input columns/rows entirely.  Such layers are
+    well-defined but almost always a configuration mistake, so they are
+    rejected unless requested explicitly.
+    """
 
     in_channels: int
     height: int
     width: int
     kernel: int
     stride: int
+    allow_gaps: bool = False
 
     def __post_init__(self) -> None:
         if min(self.in_channels, self.height, self.width, self.kernel, self.stride) < 1:
             raise ConfigError("im2col geometry must be positive")
-        if self.out_h < 1 or self.out_w < 1:
+        if self.kernel > self.height or self.kernel > self.width:
             raise ConfigError(
                 f"kernel {self.kernel} does not fit a {self.height}x{self.width} input"
+            )
+        if self.out_h < 1 or self.out_w < 1:
+            raise ConfigError(
+                f"stride {self.stride} overshoots the {self.height}x{self.width} "
+                f"input for kernel {self.kernel}: no output positions"
+            )
+        if self.stride > self.kernel and not self.allow_gaps:
+            raise ConfigError(
+                f"stride {self.stride} > kernel {self.kernel} skips input "
+                "columns; pass allow_gaps=True to accept the gap geometry"
             )
 
     @property
@@ -89,10 +106,11 @@ def lower_shares(spec: Im2colSpec, activation: np.ndarray) -> np.ndarray:
     """Locally lower a flat activation (share) for the conv matmul.
 
     ``activation`` is ``(in_features, batch)``; the result is
-    ``(patch_len, n_positions * batch)`` with position-major column order
-    (all positions of image 0, then image 1, ...only transposed:
-    columns are ordered image-major so the lifted output of
-    :func:`lift_output` is contiguous per image).
+    ``(patch_len, batch * n_positions)`` with **image-major** column
+    order: all positions of image 0, then all positions of image 1, ...
+    Keeping each image's positions contiguous makes the lifted output of
+    :func:`lift_output` contiguous per image, which is what lets the
+    serving layer stack per-client batches as extra column blocks.
     """
     act = np.asarray(activation)
     if act.ndim != 2 or act.shape[0] != spec.in_features:
@@ -115,7 +133,12 @@ def lift_output(spec: Im2colSpec, out_channels: int, product: np.ndarray) -> np.
     ``(out_channels * n_positions, batch)`` in C order (oc, oh, ow).
     """
     prod = np.asarray(product)
-    if prod.ndim != 2 or prod.shape[0] != out_channels or prod.shape[1] % spec.n_positions:
+    if prod.ndim != 2 or prod.shape[1] == 0:
+        # A zero-width product (a batched round sliced down to no client
+        # columns after an admission deny) must surface as a typed error,
+        # not as a bare reshape failure downstream.
+        raise ConfigError(f"conv product has no columns to lift (shape {prod.shape})")
+    if prod.shape[0] != out_channels or prod.shape[1] % spec.n_positions:
         raise ConfigError(f"unexpected conv product shape {prod.shape}")
     batch = prod.shape[1] // spec.n_positions
     cube = prod.reshape(out_channels, batch, spec.n_positions)
@@ -124,9 +147,22 @@ def lift_output(spec: Im2colSpec, out_channels: int, product: np.ndarray) -> np.
     )
 
 
-def conv_bias_vector(spec: Im2colSpec, bias: np.ndarray) -> np.ndarray:
-    """Broadcast a per-channel bias over output positions (flat order)."""
+def conv_bias_vector(
+    spec: Im2colSpec, bias: np.ndarray, out_channels: int | None = None
+) -> np.ndarray:
+    """Broadcast a per-channel bias over output positions (flat order).
+
+    ``out_channels`` pins the expected bias length; a wrong-sized bias
+    would otherwise silently repeat into a misaligned flat vector and
+    corrupt every downstream share.
+    """
     b = np.asarray(bias)
+    if b.ndim != 1:
+        raise ConfigError(f"conv bias must be 1-D per-channel, got shape {b.shape}")
+    if out_channels is not None and b.shape[0] != out_channels:
+        raise ConfigError(
+            f"conv bias has {b.shape[0]} channels, layer expects {out_channels}"
+        )
     return np.repeat(b, spec.n_positions)
 
 

@@ -103,6 +103,7 @@ def save_model(path, model: QuantizedModel) -> None:
                 "truncate_bits": layer.truncate_bits,
                 "conv": _spec_to_dict(layer.conv),
                 "pool": _pool_to_dict(layer.pool),
+                "backend": layer.backend,
             }
             for layer in model.layers
         ],
@@ -138,6 +139,7 @@ def load_model(path) -> QuantizedModel:
                     truncate_bits=info["truncate_bits"],
                     conv=_spec_from_dict(info["conv"]),
                     pool=_pool_from_dict(info.get("pool")),
+                    backend=info.get("backend", "im2col"),
                 )
             )
     return QuantizedModel(
@@ -165,6 +167,7 @@ def save_meta(path, meta: ModelMeta) -> None:
                 "truncate_bits": layer.truncate_bits,
                 "conv": _spec_to_dict(layer.conv),
                 "pool": _pool_to_dict(layer.pool),
+                "backend": layer.backend,
             }
             for layer in meta.layers
         ],
@@ -185,6 +188,7 @@ def load_meta(path) -> ModelMeta:
             truncate_bits=info["truncate_bits"],
             conv=_spec_from_dict(info["conv"]),
             pool=_pool_from_dict(info.get("pool")),
+            backend=info.get("backend", "im2col"),
         )
         for info in doc["layers"]
     )

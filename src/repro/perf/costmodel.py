@@ -88,6 +88,69 @@ def abnn2_comm_bits(
     )
 
 
+# --------------------------------------------------------------------- #
+# Winograd F(2x2,3x3) conv backend
+# --------------------------------------------------------------------- #
+def conv_triplet_elements_im2col(
+    c_in: int, c_out: int, out_h: int, out_w: int, batch: int, kernel: int = 3
+) -> int:
+    """Scalar triplet elements (W entries x operand columns) of one conv
+    layer lowered via im2col: ``(c_out) * (c_in k^2) * (out_h out_w b)``."""
+    return c_out * c_in * kernel * kernel * out_h * out_w * batch
+
+
+def conv_triplet_elements_winograd(
+    c_in: int, c_out: int, n_tiles: int, batch: int
+) -> int:
+    """Scalar triplet elements of the same layer on the F(2x2,3x3) tile
+    backend: 16 grouped ``(c_out, c_in) x (c_in, b n_tiles)`` products,
+    i.e. ``16 c_in c_out n_tiles b`` — a 2.25x reduction at stride 1
+    (36 im2col elements per tile vs 16)."""
+    return 16 * c_in * c_out * n_tiles * batch
+
+
+def winograd_reduction_ratio(out_h: int, out_w: int, n_tiles: int, kernel: int = 3) -> float:
+    """im2col/winograd triplet-element ratio (2.25 on even stride-1 maps,
+    where ``n_tiles = out_h * out_w / 4``)."""
+    return (kernel * kernel * out_h * out_w) / (16.0 * n_tiles)
+
+
+def winograd_ot_count(scheme: FragmentScheme, c_in: int, c_out: int) -> int:
+    """OT executions for one winograd conv layer's offline phase.
+
+    The grouped product stacks 16 tile-point blocks of ``(c_out, c_in)``
+    transformed weights, and each transformed entry decomposes under the
+    *transformed-weight* scheme (``repro.quant.headroom.winograd_scheme``
+    of the layer scheme) — so this is :func:`abnn2_ot_count` at
+    ``m = 16 c_out``, ``n = c_in``.  Note the per-OT *gamma* of the
+    widened scheme usually exceeds the raw scheme's, so the OT count can
+    grow even as triplet elements (and multi-batch payload) shrink 2.25x.
+    """
+    return abnn2_ot_count(scheme, 16 * c_out, c_in)
+
+
+def winograd_comm_bits(
+    scheme: FragmentScheme,
+    c_in: int,
+    c_out: int,
+    n_tiles: int,
+    batch: int,
+    ring_bits: int,
+    mode: str = "auto",
+    kappa: int = KAPPA,
+) -> int:
+    """Offline triplet traffic of one winograd conv layer.
+
+    Exactly :func:`abnn2_comm_bits` at the grouped shape
+    ``m = 16 c_out``, ``n = c_in``, ``o = batch * n_tiles``: the wire
+    protocol is unchanged, only the (public) dimensions and fragment
+    scheme differ, so trace conformance stays byte-exact.
+    """
+    return abnn2_comm_bits(
+        scheme, 16 * c_out, c_in, batch * n_tiles, ring_bits, mode, kappa
+    )
+
+
 def network_offline_comm_bits(
     layer_shapes: list[tuple[int, int]],
     scheme: FragmentScheme,

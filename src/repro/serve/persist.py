@@ -40,13 +40,17 @@ def model_fingerprint(model: QuantizedModel) -> str:
     """Hex digest binding a bank to one exact model configuration.
 
     Covers ring width, fixed-point scaling, and every layer's scheme,
-    truncation, weights, and biases — anything that changes the triplet
-    material or the shares' meaning.
+    truncation, linear backend, weights, and biases — anything that
+    changes the triplet material or the shares' meaning.  The backend
+    component is appended only for non-default backends so fingerprints
+    of existing im2col banks stay stable.
     """
     h = hashlib.sha256()
     h.update(f"ring={model.ring.bits};frac={model.encoder.frac_bits};".encode())
     for layer in model.layers:
         h.update(f"{layer.scheme.name};t={layer.truncate_bits};".encode())
+        if layer.backend != "im2col":
+            h.update(f"backend={layer.backend};".encode())
         h.update(np.ascontiguousarray(layer.w_int, dtype=np.int64).tobytes())
         h.update(np.ascontiguousarray(layer.bias_int, dtype=np.int64).tobytes())
     return h.hexdigest()

@@ -7,6 +7,14 @@ from repro.core.protocol import ModelMeta, secure_predict
 from repro.errors import ConfigError, QuantizationError
 from repro.nn.layers import Conv2d, Dense, Flatten, ReLU
 from repro.nn.lowering import Im2colSpec, conv_bias_vector, lift_output, lower_shares
+from repro.nn.winograd import (
+    WinogradSpec,
+    lift_tiles,
+    lift_tiles_value,
+    lower_tiles,
+    lower_tiles_value,
+    transform_weights,
+)
 from repro.nn.model import Sequential
 from repro.nn.quantize import quantize_model
 from repro.quant.fragments import FragmentScheme
@@ -34,6 +42,20 @@ class TestIm2colSpec:
             Im2colSpec(1, 2, 2, kernel=3, stride=1)
         with pytest.raises(ConfigError):
             Im2colSpec(0, 4, 4, kernel=1, stride=1)
+
+    def test_diagnostics_name_the_offending_parameter(self):
+        """Split messages: each failure mode cites the parameter at fault."""
+        with pytest.raises(ConfigError, match="kernel 5 does not fit"):
+            Im2colSpec(1, 4, 4, kernel=5, stride=1)
+        with pytest.raises(ConfigError, match="kernel 3 does not fit a 8x2"):
+            Im2colSpec(1, 8, 2, kernel=3, stride=1)
+
+    def test_stride_gaps_need_opt_in(self):
+        """stride > kernel skips input columns: rejected unless opted in."""
+        with pytest.raises(ConfigError, match="allow_gaps"):
+            Im2colSpec(1, 8, 8, kernel=2, stride=3)
+        spec = Im2colSpec(1, 8, 8, kernel=2, stride=3, allow_gaps=True)
+        assert (spec.out_h, spec.out_w) == (3, 3)
 
     def test_gather_indices_bounds(self, spec):
         idx = spec.gather_indices()
@@ -83,6 +105,118 @@ class TestLowerLift:
         out = conv_bias_vector(spec, np.array([1, 2]))
         assert out.shape == (2 * spec.n_positions,)
         assert (out[: spec.n_positions] == 1).all()
+
+    def test_conv_bias_vector_validates_length(self, spec):
+        with pytest.raises(ConfigError, match="2 channels, layer expects 3"):
+            conv_bias_vector(spec, np.array([1, 2]), out_channels=3)
+        with pytest.raises(ConfigError, match="1-D"):
+            conv_bias_vector(spec, np.array([[1, 2]]), out_channels=2)
+        out = conv_bias_vector(spec, np.array([1, 2]), out_channels=2)
+        assert out.shape == (2 * spec.n_positions,)
+
+    def test_lift_rejects_zero_width_product(self, spec):
+        """A batched round sliced to zero client columns must surface as
+        a typed ConfigError, not a bare reshape failure."""
+        with pytest.raises(ConfigError, match="no columns"):
+            lift_output(spec, 4, np.zeros((4, 0), dtype=np.uint64))
+
+
+def _winograd_conv_value(wspec: WinogradSpec, w_int: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Value-domain winograd conv: lower, 16 grouped products, lift, /4."""
+    xt = lower_tiles_value(wspec, x)
+    wt = transform_weights(wspec, w_int).astype(np.float64)
+    oc, ci = w_int.shape[0], wspec.in_channels
+    prod = np.empty((16 * oc, xt.shape[1]))
+    for g in range(16):
+        prod[g * oc : (g + 1) * oc] = wt[g * oc : (g + 1) * oc] @ xt[g * ci : (g + 1) * ci]
+    return lift_tiles_value(wspec, oc, prod) / 4.0
+
+
+class TestBackendProperties:
+    """Satellite sweep: both lowerings commute with additive sharing over
+    random non-square geometries, and winograd equals the plain conv
+    exactly over exhaustive small domains."""
+
+    def test_im2col_additive_random_geometries(self):
+        ring = Ring(32)
+        rng = np.random.default_rng(2024)
+        for _ in range(25):
+            c, k = int(rng.integers(1, 4)), int(rng.integers(1, 4))
+            h, w = int(rng.integers(k, k + 5)), int(rng.integers(k, k + 5))
+            stride = int(rng.integers(1, k + 1))
+            spec = Im2colSpec(c, h, w, kernel=k, stride=stride)
+            batch = int(rng.integers(1, 4))
+            z = ring.sample(rng, (spec.in_features, batch))
+            z1 = ring.sample(rng, (spec.in_features, batch))
+            z0 = ring.sub(z, z1)
+            left = ring.add(lower_shares(spec, z0), lower_shares(spec, z1))
+            assert (left == lower_shares(spec, z)).all()
+
+    def test_im2col_additive_with_gaps(self):
+        ring = Ring(32)
+        rng = np.random.default_rng(7)
+        spec = Im2colSpec(2, 9, 7, kernel=2, stride=3, allow_gaps=True)
+        z = ring.sample(rng, (spec.in_features, 2))
+        z1 = ring.sample(rng, (spec.in_features, 2))
+        z0 = ring.sub(z, z1)
+        left = ring.add(lower_shares(spec, z0), lower_shares(spec, z1))
+        assert (left == lower_shares(spec, z)).all()
+
+    def test_winograd_additive_random_geometries(self):
+        """Both tile transforms (input and output) commute with sharing."""
+        ring = Ring(32)
+        rng = np.random.default_rng(4096)
+        for _ in range(25):
+            c = int(rng.integers(1, 4))
+            h, w = int(rng.integers(3, 9)), int(rng.integers(3, 9))
+            spec = WinogradSpec(c, h, w)
+            batch = int(rng.integers(1, 4))
+            z = ring.sample(rng, (spec.in_features, batch))
+            z1 = ring.sample(rng, (spec.in_features, batch))
+            z0 = ring.sub(z, z1)
+            left = ring.add(
+                lower_tiles(spec, z0, ring), lower_tiles(spec, z1, ring)
+            )
+            assert (left == lower_tiles(spec, z, ring)).all()
+            oc = int(rng.integers(1, 4))
+            p = ring.sample(rng, (16 * oc, batch * spec.n_tiles))
+            p1 = ring.sample(rng, p.shape)
+            p0 = ring.sub(p, p1)
+            left = ring.add(
+                lift_tiles(spec, oc, p0, ring), lift_tiles(spec, oc, p1, ring)
+            )
+            assert (left == lift_tiles(spec, oc, p, ring)).all()
+
+    @pytest.mark.parametrize(
+        "c_in,h,w", [(1, 3, 3), (1, 4, 5), (2, 5, 4), (2, 5, 5), (1, 6, 7)]
+    )
+    def test_winograd_exact_over_bilinear_basis(self, c_in, h, w):
+        """conv is bilinear in (input, kernel), so exact equality on every
+        one-hot input x one-hot kernel pair implies exact equality for all
+        integer inputs — an exhaustive small-domain check."""
+        wspec = WinogradSpec(c_in, h, w)
+        ispec = Im2colSpec(c_in, h, w, kernel=3, stride=1)
+        x = np.eye(ispec.in_features)  # every one-hot input, as batch columns
+        oc = c_in * 9
+        w_int = np.eye(oc, dtype=np.int64)  # every one-hot 3x3 kernel
+        got = _winograd_conv_value(wspec, w_int, x)
+        ref = lift_output(ispec, oc, w_int.astype(np.float64) @ lower_shares(ispec, x))
+        assert got.shape == ref.shape
+        assert (got == ref).all()
+
+    def test_winograd_exact_random_integers(self):
+        rng = np.random.default_rng(55)
+        for _ in range(10):
+            c_in, oc = int(rng.integers(1, 4)), int(rng.integers(1, 4))
+            h, w = int(rng.integers(3, 8)), int(rng.integers(3, 8))
+            wspec = WinogradSpec(c_in, h, w)
+            ispec = Im2colSpec(c_in, h, w, kernel=3, stride=1)
+            batch = int(rng.integers(1, 3))
+            x = rng.integers(-50, 50, size=(ispec.in_features, batch)).astype(np.float64)
+            w_int = rng.integers(-8, 8, size=(oc, c_in * 9)).astype(np.int64)
+            got = _winograd_conv_value(wspec, w_int, x)
+            ref = lift_output(ispec, oc, w_int.astype(np.float64) @ lower_shares(ispec, x))
+            assert (got == ref).all()
 
 
 @pytest.fixture(scope="module")
