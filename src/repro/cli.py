@@ -297,6 +297,9 @@ def cmd_report(args) -> int:
             fh.write("\n")
         print(f"wrote trace: {args.save_trace}", file=sys.stderr)
     print(perf_report.render_report(trace))
+    if args.memory:
+        print()
+        print(perf_report.render_memory_report(trace))
     if args.check:
         failures = perf_report.check_conformance(trace)
         if failures:
@@ -463,6 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check", action="store_true",
         help="exit 1 unless every modeled span matches the cost model",
+    )
+    p.add_argument(
+        "--memory", action="store_true",
+        help="also print per-layer allocation peaks vs the closed-form "
+        "working sets (measured column needs a trace recorded with "
+        "ABNN2_TRACE_MEMORY=1)",
     )
     p.add_argument("--scheme", default="4(2,2)", help="demo fragment scheme")
     p.add_argument(

@@ -18,12 +18,36 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.triplets import (
+    BlockedShare,
     TripletConfig,
     generate_triplets_client,
     generate_triplets_server,
 )
 from repro.errors import ConfigError, ProtocolError
 from repro.net.channel import Channel
+from repro.utils.ring import Ring
+
+
+def grouped_product(
+    ring: Ring, w: np.ndarray, z0: np.ndarray, m: int, n: int, groups: int
+) -> np.ndarray:
+    """``W @ Z0`` (block-diagonal when ``groups > 1``), any column count.
+
+    ``w`` is the stacked ``(groups * m, n)`` ring-reduced weight matrix
+    and ``z0`` the stacked ``(groups * n, cols)`` operand; columns are
+    independent, so this serves both the full-width online step and any
+    column block of it.  Shared by the online engines and the streamed
+    triplet dealer (:mod:`repro.serve.dealer`), which computes the same
+    product against ``R`` blocks.
+    """
+    if groups == 1:
+        return ring.matmul(w, z0)
+    prod = ring.zeros((groups * m, z0.shape[1]))
+    for g in range(groups):
+        prod[g * m : (g + 1) * m] = ring.matmul(
+            w[g * m : (g + 1) * m], z0[g * n : (g + 1) * n]
+        )
+    return prod
 
 
 class SecureMatmulServer:
@@ -38,19 +62,28 @@ class SecureMatmulServer:
                 f"W shape {self.w_int.shape} disagrees with config {config.w_shape}"
             )
         self._seed = seed
-        self._u: np.ndarray | None = None
+        self._u: np.ndarray | BlockedShare | None = None
 
     def offline(self) -> None:
         """Run the OT-based triplet generation (interactive)."""
         self._u = generate_triplets_server(self.chan, self.w_int, self.config, seed=self._seed)
 
-    def preload(self, u: np.ndarray) -> None:
+    def preload(self, u: np.ndarray | BlockedShare) -> None:
         """Adopt a precomputed ``U`` share instead of running :meth:`offline`.
 
         The serving layer's triplet bank generates material ahead of time
         (see :mod:`repro.serve.bank`); this installs one banked share after
-        shape validation, so no OT traffic happens on this channel.
+        shape validation, so no OT traffic happens on this channel.  A
+        :class:`BlockedShare` is kept blocked so the chunked online path
+        never forces the full matrix into one allocation.
         """
+        if isinstance(u, BlockedShare):
+            if u.shape != self.config.out_shape:
+                raise ConfigError(
+                    f"expected U of shape {self.config.out_shape}, got {u.shape}"
+                )
+            self._u = u
+            return
         u_arr = self.config.ring.reduce(u)
         if u_arr.shape != self.config.out_shape:
             raise ConfigError(
@@ -62,7 +95,17 @@ class SecureMatmulServer:
     def u(self) -> np.ndarray:
         if self._u is None:
             raise ProtocolError("offline phase has not run yet")
+        if isinstance(self._u, BlockedShare):
+            return self._u.materialize()
         return self._u
+
+    def u_columns(self, lo: int, hi: int) -> np.ndarray:
+        """Columns ``[lo, hi)`` of ``U`` without materializing the rest."""
+        if self._u is None:
+            raise ProtocolError("offline phase has not run yet")
+        if isinstance(self._u, BlockedShare):
+            return self._u.columns(lo, hi)
+        return self._u[:, lo:hi]
 
     def online(self, z0_share: np.ndarray) -> np.ndarray:
         """Local step: ``<Y>_0 = W <Z>_0 + U`` (no communication).
@@ -78,15 +121,35 @@ class SecureMatmulServer:
                 f"expected share of shape {config.r_shape}, got {z0.shape}"
             )
         w = ring.reduce(self.w_int)
-        if config.groups == 1:
-            return ring.add(ring.matmul(w, z0), self.u)
-        prod = ring.zeros(config.out_shape)
-        m, n = config.m, config.n
-        for g in range(config.groups):
-            prod[g * m : (g + 1) * m] = ring.matmul(
-                w[g * m : (g + 1) * m], z0[g * n : (g + 1) * n]
-            )
+        prod = grouped_product(ring, w, z0, config.m, config.n, config.groups)
         return ring.add(prod, self.u)
+
+    def online_block(self, z0_block: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Columns ``[lo, hi)`` of :meth:`online`, fed only that operand block.
+
+        ``z0_block`` is ``(groups * n, hi - lo)`` — the lowered operand
+        columns the chunked path materialized for this block.  Matmul
+        columns are independent and ring arithmetic exact, so looping
+        this over any column partition is byte-identical to one
+        full-width :meth:`online` call.  ``U`` blocks are *not* freed as
+        they are consumed: fault recovery may re-run the round against
+        the same engine (the linear engines never mutate their shares).
+        """
+        config = self.config
+        ring = config.ring
+        z0 = ring.reduce(z0_block)
+        if z0.ndim != 2 or z0.shape != (config.r_shape[0], hi - lo):
+            raise ConfigError(
+                f"expected operand block of shape ({config.r_shape[0]}, {hi - lo}), "
+                f"got {z0.shape}"
+            )
+        if not (0 <= lo <= hi <= self.config.o):
+            raise ConfigError(
+                f"column block [{lo}, {hi}) outside [0, {self.config.o}) output columns"
+            )
+        w = ring.reduce(self.w_int)
+        prod = grouped_product(ring, w, z0, config.m, config.n, config.groups)
+        return ring.add(prod, self.u_columns(lo, hi))
 
 
 class SecureMatmulClient:
@@ -111,20 +174,47 @@ class SecureMatmulClient:
             raise ConfigError(
                 f"R shape {self.r.shape} disagrees with config {config.r_shape}"
             )
-        self._v: np.ndarray | None = None
+        self._v: np.ndarray | BlockedShare | None = None
+
+    @classmethod
+    def for_preload(cls, chan: Channel, config: TripletConfig) -> "SecureMatmulClient":
+        """An engine that will only ever serve a banked ``V`` share.
+
+        A dealt round's ``V`` already embeds ``R`` and the online path
+        never calls :meth:`mask_input` on hidden layers, so no ``R`` is
+        sampled or allocated — at conv scale a placeholder ``R`` would
+        itself be a patch-matrix-sized array.
+        """
+        engine = cls.__new__(cls)
+        engine.chan = chan
+        engine.config = config
+        engine._rng = None
+        engine._seed = None
+        engine.r = None
+        engine._v = None
+        return engine
 
     def offline(self) -> None:
         """Run the OT-based triplet generation (interactive)."""
+        if self.r is None:
+            raise ProtocolError("preload-only engine has no R to run offline with")
         self._v = generate_triplets_client(
             self.chan, self.r, self.config, self._rng, seed=self._seed
         )
 
-    def preload(self, v: np.ndarray) -> None:
+    def preload(self, v: np.ndarray | BlockedShare) -> None:
         """Adopt a precomputed ``V`` share instead of running :meth:`offline`.
 
         Counterpart of :meth:`SecureMatmulServer.preload` for banked
         offline rounds dealt to a session by the serving layer.
         """
+        if isinstance(v, BlockedShare):
+            if v.shape != self.config.out_shape:
+                raise ConfigError(
+                    f"expected V of shape {self.config.out_shape}, got {v.shape}"
+                )
+            self._v = v
+            return
         v_arr = self.config.ring.reduce(v)
         if v_arr.shape != self.config.out_shape:
             raise ConfigError(
@@ -136,10 +226,14 @@ class SecureMatmulClient:
     def v(self) -> np.ndarray:
         if self._v is None:
             raise ProtocolError("offline phase has not run yet")
+        if isinstance(self._v, BlockedShare):
+            return self._v.materialize()
         return self._v
 
     def mask_input(self, z: np.ndarray) -> np.ndarray:
         """``<Z>_0 = Z - R``: the share the client transmits to the server."""
+        if self.r is None:
+            raise ProtocolError("preload-only engine has no R to mask with")
         ring = self.config.ring
         z_arr = ring.reduce(z)
         if z_arr.shape != self.r.shape:

@@ -34,7 +34,7 @@ from repro.core.pipeline import (
 from repro.core.plan import MAIN_STREAM, LayerGraphPlan, build_plan
 from repro.core.pooling import avgpool_share, maxpool_client, maxpool_server
 from repro.core.relu import relu_layer_client, relu_layer_server, truncate_share
-from repro.core.triplets import TripletConfig
+from repro.core.triplets import BlockedShare, TripletConfig
 from repro.crypto.group import DEFAULT_GROUP, ModpGroup
 from repro.crypto.hash_ro import RandomOracle, default_ro
 from repro.errors import ChannelError, ConfigError, ProtocolError
@@ -47,9 +47,11 @@ from repro.nn.quantize import QuantizedModel
 from repro.nn.lowering import (
     Im2colSpec,
     PoolSpec,
+    column_blocks,
     conv_bias_vector,
     lift_output,
     lower_shares,
+    lower_shares_block,
 )
 from repro.nn.winograd import (
     WINOGRAD_TILE_POINTS,
@@ -57,6 +59,7 @@ from repro.nn.winograd import (
     divide_share_by4,
     lift_tiles,
     lower_tiles,
+    lower_tiles_block,
     transform_weights,
     winograd_scheme,
 )
@@ -337,6 +340,67 @@ def _matmul_weights(layer, meta: LayerMeta) -> np.ndarray:
     return layer.w_int
 
 
+def _chunked_online(ring, engine, total, chunk, lower_block, lower_full):
+    """Run one linear layer's online step over a bounded-column loop.
+
+    ``lower_block(lo, hi)`` materializes operand columns ``[lo, hi)``
+    only; each block goes straight through the engine so at most one
+    chunk of the lowered operand exists at a time.  Purely local compute
+    (no channel), and byte-identical for every chunk grid because matmul
+    columns are independent and ring arithmetic is exact.  ``chunk=None``
+    (or >= ``total``) keeps the historical single-allocation path via
+    ``lower_full()`` (the whole-operand lowering is cheaper than a
+    full-width gather through the block index math).
+    """
+    if chunk is None or chunk >= total:
+        return engine.online(lower_full())
+    out = ring.zeros(engine.config.out_shape)
+    for lo, hi in column_blocks(total, chunk):
+        out[:, lo:hi] = engine.online_block(lower_block(lo, hi), lo, hi)
+    return out
+
+
+def server_linear_share(ring, layer, meta: LayerMeta, engine, share0) -> np.ndarray:
+    """The server's linear-node math: ``W <z>_0 + U + b`` with lowering,
+    lifting, and (winograd) the exact share-local division by 4.
+
+    Shared by the sequential/pipelined executors
+    (:meth:`Abnn2Server._linear_layer`) and the batched
+    :meth:`WideServerRound.linear` so the chunked im2col loop — driven by
+    the conv spec's ``chunk_cols`` — can never diverge between paths.
+    ``share0``'s column count is the effective batch (wide rounds pass
+    the stacked multi-client operand).  Truncation stays with the caller.
+    """
+    if meta.backend == "winograd":
+        wspec = meta.wino
+        total = share0.shape[1] * wspec.n_tiles
+        y0 = _chunked_online(
+            ring, engine, total, layer.conv.chunk_cols,
+            lambda lo, hi: lower_tiles_block(wspec, share0, ring, lo, hi),
+            lambda: lower_tiles(wspec, share0, ring),
+        )
+        y0 = lift_tiles(wspec, layer.shape[0], y0, ring)
+        # The reconstructed lifted value is exactly 4 * (W * z); both
+        # parties divide their share locally (exact w.h.p., see
+        # repro.nn.winograd.divide_share_by4).
+        y0 = divide_share_by4(ring, y0, party=0)
+        bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
+        return ring.add(y0, ring.reduce(bias)[:, None])
+    if layer.conv:
+        spec = layer.conv
+        total = share0.shape[1] * spec.n_positions
+        y0 = _chunked_online(
+            ring, engine, total, spec.chunk_cols,
+            lambda lo, hi: lower_shares_block(spec, share0, lo, hi),
+            lambda: lower_shares(spec, share0),
+        )
+        y0 = lift_output(spec, layer.shape[0], y0)
+        bias = conv_bias_vector(spec, layer.bias_int, layer.shape[0])
+        return ring.add(y0, ring.reduce(bias)[:, None])
+    y0 = engine.online(share0)
+    return ring.add(y0, ring.reduce(layer.bias_int)[:, None])
+
+
 class Abnn2Server(_PartyBase):
     """The model owner.  Construct, then call :meth:`offline`, then
     :meth:`online` once per prediction batch."""
@@ -451,27 +515,9 @@ class Abnn2Server(_PartyBase):
             f"layer{idx}/matmul", m=meta.matmul_rows, n=meta.matmul_cols,
             o=self.batch * meta.batch_multiplier(),
             groups=meta.matmul_groups, backend=meta.backend,
+            chunk_cols=layer.conv.chunk_cols if layer.conv else None,
         ):
-            if meta.backend == "winograd":
-                wspec = meta.wino
-                operand = lower_tiles(wspec, share0, self.ring)
-                y0 = matmuls[idx].online(operand)
-                y0 = lift_tiles(wspec, layer.shape[0], y0, self.ring)
-                # The reconstructed lifted value is exactly 4 * (W * z);
-                # both parties divide their share locally (exact w.h.p.,
-                # see repro.nn.winograd.divide_share_by4).
-                y0 = divide_share_by4(self.ring, y0, party=0)
-                bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
-                y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
-            elif layer.conv:
-                operand = lower_shares(layer.conv, share0)
-                y0 = matmuls[idx].online(operand)
-                y0 = lift_output(layer.conv, layer.shape[0], y0)
-                bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
-                y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
-            else:
-                y0 = matmuls[idx].online(share0)
-                y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+            y0 = server_linear_share(self.ring, layer, meta, matmuls[idx], share0)
         if idx < len(self.model.layers) - 1:
             y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
         return y0
@@ -706,10 +752,8 @@ class Abnn2Client(_PartyBase):
         for idx, layer in enumerate(self.meta.layers):
             config = self._layer_config(layer)
             # The banked V already embeds R; the online path never needs R
-            # again, so the engine gets a placeholder operand.
-            client = self.matmul_client_cls(
-                self.chan, config, self.rng, r_mat=self.ring.zeros(config.r_shape)
-            )
+            # again, so the engine skips allocating one entirely.
+            client = self.matmul_client_cls.for_preload(self.chan, config)
             client.preload(vs[idx])
             matmuls.append(client)
             if idx < n_layers - 1:
@@ -930,11 +974,23 @@ class Abnn2Client(_PartyBase):
 # --------------------------------------------------------------------- #
 # wide rounds: one server-side compute over many clients' columns
 # --------------------------------------------------------------------- #
-def stack_columns(blocks: list[np.ndarray]) -> np.ndarray:
-    """Concatenate per-client column blocks into one wide operand."""
+def stack_columns(blocks: list) -> np.ndarray:
+    """Concatenate per-client column blocks into one wide operand.
+
+    Accepts plain arrays or :class:`~repro.core.triplets.BlockedShare`
+    entries (dealer-banked material) — the wide round's stacked ``U`` is
+    one allocation either way, which is the batching trade: a wide round
+    holds ``width`` clients' material at once by design.
+    """
     if not blocks:
         raise ConfigError("cannot stack zero column blocks")
-    return np.concatenate([np.asarray(b) for b in blocks], axis=1)
+    return np.concatenate(
+        [
+            np.asarray(b.materialize() if isinstance(b, BlockedShare) else b)
+            for b in blocks
+        ],
+        axis=1,
+    )
 
 
 def split_columns(wide: np.ndarray, widths: list[int]) -> list[np.ndarray]:
@@ -1065,26 +1121,11 @@ class WideServerRound:
         layer = self.model.layers[idx]
         meta = self.meta.layers[idx]
         share0, self._operand = self._operand, None
-        if meta.backend == "winograd":
-            # Tile lowering/lifting orders columns image-major, and the
-            # wide layout keeps each client's images contiguous, so this
-            # is bit-identical to the solo rounds (same banked U).
-            wspec = meta.wino
-            operand = lower_tiles(wspec, share0, self.ring)
-            y0 = self._matmuls[idx].online(operand)
-            y0 = lift_tiles(wspec, layer.shape[0], y0, self.ring)
-            y0 = divide_share_by4(self.ring, y0, party=0)
-            bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
-            y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
-        elif layer.conv:
-            operand = lower_shares(layer.conv, share0)
-            y0 = self._matmuls[idx].online(operand)
-            y0 = lift_output(layer.conv, layer.shape[0], y0)
-            bias = conv_bias_vector(layer.conv, layer.bias_int, layer.shape[0])
-            y0 = self.ring.add(y0, self.ring.reduce(bias)[:, None])
-        else:
-            y0 = self._matmuls[idx].online(share0)
-            y0 = self.ring.add(y0, self.ring.reduce(layer.bias_int)[:, None])
+        # Lowering/lifting orders columns image-major, and the wide
+        # layout keeps each client's images contiguous, so the shared
+        # (chunked) linear math is bit-identical to the solo rounds
+        # (same banked U).
+        y0 = server_linear_share(self.ring, layer, meta, self._matmuls[idx], share0)
         if idx < self.n_layers - 1:
             y0 = truncate_share(self.ring, y0, layer.truncate_bits, party=0)
         self._layer += 1

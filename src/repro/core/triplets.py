@@ -128,6 +128,96 @@ class TripletConfig:
         return self.scheme.gamma * self.rows * self.n
 
 
+class BlockedShare:
+    """An offline share matrix held as contiguous column blocks.
+
+    The streamed dealer (:mod:`repro.serve.dealer`) produces a conv
+    layer's ``U``/``V`` block-by-block so the full ``(rows, o)`` matrix
+    is never a single allocation, and the chunked online path consumes
+    it the same way.  Semantically it *is* the concatenation of its
+    blocks — :meth:`columns` serves any ``[lo, hi)`` range regardless of
+    how the producer's block grid lines up with the consumer's, and
+    :meth:`materialize` recovers the plain array for legacy callers.
+
+    Blocks are never mutated after construction (the fault-recovery
+    contract: re-running an online round must see identical material).
+    """
+
+    __slots__ = ("_blocks", "_bounds", "_rows")
+
+    def __init__(self, blocks: list[np.ndarray]) -> None:
+        if not blocks:
+            raise ConfigError("BlockedShare needs at least one column block")
+        arrs = [np.asarray(b) for b in blocks]
+        rows = arrs[0].shape[0] if arrs[0].ndim == 2 else -1
+        for arr in arrs:
+            if arr.ndim != 2 or arr.shape[0] != rows:
+                raise ConfigError(
+                    f"BlockedShare blocks must share a row count; got "
+                    f"{[a.shape for a in arrs]}"
+                )
+        self._blocks = arrs
+        self._rows = rows
+        bounds = []
+        hi = 0
+        for arr in arrs:
+            hi += arr.shape[1]
+            bounds.append(hi)
+        self._bounds = bounds
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray, chunk: int | None = None) -> "BlockedShare":
+        """Split a plain share matrix on a ``chunk``-column grid."""
+        a = np.asarray(arr)
+        if a.ndim != 2:
+            raise ConfigError(f"expected a 2-D share matrix, got shape {a.shape}")
+        if a.shape[1] == 0:
+            return cls([a])
+        step = a.shape[1] if chunk is None else max(1, min(chunk, a.shape[1]))
+        return cls([a[:, lo : lo + step] for lo in range(0, a.shape[1], step)])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._rows, self._bounds[-1] if self._bounds else 0)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def blocks(self) -> list[np.ndarray]:
+        """The underlying column blocks, in order (do not mutate)."""
+        return list(self._blocks)
+
+    def columns(self, lo: int, hi: int) -> np.ndarray:
+        """Columns ``[lo, hi)`` of the logical matrix.
+
+        A range inside one block is a zero-copy view; a straddling range
+        concatenates only the touched pieces.
+        """
+        total = self.shape[1]
+        if not (0 <= lo <= hi <= total):
+            raise ConfigError(f"column range [{lo}, {hi}) outside [0, {total})")
+        pieces = []
+        block_lo = 0
+        for arr, block_hi in zip(self._blocks, self._bounds):
+            if block_hi > lo and block_lo < hi:
+                pieces.append(arr[:, max(lo, block_lo) - block_lo : min(hi, block_hi) - block_lo])
+            if block_hi >= hi:
+                break
+            block_lo = block_hi
+        if len(pieces) == 1:
+            return pieces[0]
+        if not pieces:
+            return self._blocks[0][:, :0]
+        return np.concatenate(pieces, axis=1)
+
+    def materialize(self) -> np.ndarray:
+        """The full share matrix as one contiguous array (legacy callers)."""
+        if len(self._blocks) == 1:
+            return self._blocks[0]
+        return np.concatenate(self._blocks, axis=1)
+
+
 def _flat_coords(start: int, count: int, n: int, k_count: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Decompose flat OT indices (i, j, k_pos lexicographic) of one group."""
     flat = np.arange(start, start + count, dtype=np.int64)

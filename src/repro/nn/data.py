@@ -86,3 +86,45 @@ def synthetic_mnist(
     train_x, train_y = _make_split(n_train, "train")
     test_x, test_y = _make_split(n_test, "test")
     return SyntheticMnist(train_x=train_x, train_y=train_y, test_x=test_x, test_y=test_y)
+
+
+def synthetic_images(
+    n: int,
+    channels: int = 3,
+    side: int = 32,
+    classes: int = 10,
+    seed: int = 2026,
+    noise: float = 0.25,
+    max_shift: int = 2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """CIFAR/ImageNet-shaped synthetic samples for the big-model zoo.
+
+    Returns ``(x, y)`` with ``x`` of shape ``(n, channels * side * side)``
+    (flat C-order, the layout the conv stack's im2col lowering expects)
+    in ``[0, 1]`` and ``y`` of shape ``(n,)``.  Same construction as
+    :func:`synthetic_mnist` — smooth per-class templates, shifted and
+    noise-corrupted — just parameterized over geometry; the secure
+    protocols are data-oblivious, so these only feed accuracy numbers
+    and end-to-end equivalence checks.
+    """
+    if min(n, channels, side, classes) < 1:
+        raise ConfigError("image geometry must be positive")
+    templates = np.empty((classes, channels, side, side))
+    for cls in range(classes):
+        rng = derive_rng(seed, "image-template", cls)
+        raw = rng.normal(size=(channels, side, side))
+        smooth = np.stack([_smooth(plane, passes=4) for plane in raw])
+        smooth -= smooth.min()
+        peak = smooth.max()
+        templates[cls] = smooth / peak if peak > 0 else smooth
+    rng = derive_rng(seed, "image-split", n)
+    ys = rng.integers(0, classes, size=n)
+    xs = np.empty((n, channels * side * side))
+    for i, cls in enumerate(ys):
+        img = templates[cls]
+        dx, dy = rng.integers(-max_shift, max_shift + 1, size=2)
+        img = np.roll(np.roll(img, dx, axis=1), dy, axis=2)
+        gain = rng.uniform(0.7, 1.0)
+        sample = gain * img + rng.normal(scale=noise, size=img.shape)
+        xs[i] = np.clip(sample, 0.0, 1.0).reshape(-1)
+    return xs, ys.astype(np.int64)

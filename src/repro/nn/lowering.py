@@ -19,10 +19,53 @@ conv stack without extra bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigError
+
+#: Largest element count any derived geometry (flat activations, lowered
+#: patch matrices, gather index tables) may reach.  Indices and sizes are
+#: carried as int64; products beyond this bound would overflow the index
+#: math (and on platforms whose default int is 32-bit, silently corrupt
+#: intermediate arithmetic), so specs reject them with a typed error that
+#: names the offending dimension instead.
+_INDEX_LIMIT = np.iinfo(np.int64).max
+
+
+def _check_index_limit(what: str, **factors: int) -> None:
+    """Raise a :class:`ConfigError` naming the dimension when the product
+    of ``factors`` (exact Python ints) exceeds int64 index math."""
+    total = 1
+    for value in factors.values():
+        total *= int(value)
+    if total > _INDEX_LIMIT:
+        detail = " * ".join(f"{name}={value}" for name, value in factors.items())
+        raise ConfigError(
+            f"{what} element count overflows int64 index math: "
+            f"{detail} = {total} > {_INDEX_LIMIT}"
+        )
+
+
+def column_blocks(total: int, chunk: int | None) -> Iterator[tuple[int, int]]:
+    """Yield ``(lo, hi)`` column ranges covering ``[0, total)``.
+
+    ``chunk`` bounds each block; ``None`` (or any chunk >= total) yields
+    the single full-width block, so unchunked execution is the
+    degenerate case of the same loop.  The grid is shared by the chunked
+    lowering, the blocked online matmul, and the streamed triplet dealer
+    so their column blocks always line up.
+    """
+    if total < 0:
+        raise ConfigError("column count must be non-negative")
+    if chunk is not None and chunk < 1:
+        raise ConfigError("chunk_cols must be positive")
+    step = total if chunk is None else min(chunk, total)
+    if total == 0:
+        return
+    for lo in range(0, total, step):
+        yield lo, min(total, lo + step)
 
 
 @dataclass(frozen=True)
@@ -33,6 +76,13 @@ class Im2colSpec:
     sliding window skips input columns/rows entirely.  Such layers are
     well-defined but almost always a configuration mistake, so they are
     rejected unless requested explicitly.
+
+    ``chunk_cols`` bounds how many columns of the lowered operand the
+    secure linear layer materializes at once (``None`` = unchunked).
+    Chunking is a purely local compute/memory decision: wire bytes and
+    results are identical for every setting (matmul columns are
+    independent and ring arithmetic is exact), so the two parties need
+    not agree on it and it is excluded from model fingerprints.
     """
 
     in_channels: int
@@ -41,10 +91,13 @@ class Im2colSpec:
     kernel: int
     stride: int
     allow_gaps: bool = False
+    chunk_cols: int | None = None
 
     def __post_init__(self) -> None:
         if min(self.in_channels, self.height, self.width, self.kernel, self.stride) < 1:
             raise ConfigError("im2col geometry must be positive")
+        if self.chunk_cols is not None and self.chunk_cols < 1:
+            raise ConfigError("chunk_cols must be positive (or None for unchunked)")
         if self.kernel > self.height or self.kernel > self.width:
             raise ConfigError(
                 f"kernel {self.kernel} does not fit a {self.height}x{self.width} input"
@@ -59,6 +112,17 @@ class Im2colSpec:
                 f"stride {self.stride} > kernel {self.kernel} skips input "
                 "columns; pass allow_gaps=True to accept the gap geometry"
             )
+        # Derived sizes are computed in exact Python ints here, so any
+        # overflow of the int64 index math surfaces as a typed error
+        # naming the dimension, never as silently wrapped indices.
+        _check_index_limit(
+            "im2col input (in_channels * height * width)",
+            in_channels=self.in_channels, height=self.height, width=self.width,
+        )
+        _check_index_limit(
+            "im2col patch matrix (patch_len * n_positions)",
+            patch_len=self.patch_len, n_positions=self.n_positions,
+        )
 
     @property
     def out_h(self) -> int:
@@ -83,23 +147,36 @@ class Im2colSpec:
         """Rows of the lowered operand: in_channels * kh * kw."""
         return self.in_channels * self.kernel * self.kernel
 
-    def gather_indices(self) -> np.ndarray:
-        """(patch_len, n_positions) indices into the flat activation."""
+    def patch_offsets(self) -> np.ndarray:
+        """(patch_len,) within-patch offsets into the flat activation."""
         c_idx, ki, kj = np.meshgrid(
-            np.arange(self.in_channels),
-            np.arange(self.kernel),
-            np.arange(self.kernel),
+            np.arange(self.in_channels, dtype=np.int64),
+            np.arange(self.kernel, dtype=np.int64),
+            np.arange(self.kernel, dtype=np.int64),
             indexing="ij",
         )
-        patch_offsets = (c_idx * self.height + ki) * self.width + kj  # (c, kh, kw)
-        oi, oj = np.meshgrid(
-            np.arange(self.out_h) * self.stride,
-            np.arange(self.out_w) * self.stride,
-            indexing="ij",
+        return ((c_idx * self.height + ki) * self.width + kj).reshape(-1)
+
+    def position_offsets(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Flat-activation offset of each patch's top-left corner.
+
+        ``positions`` selects a subset of the ``n_positions`` output
+        positions (row-major over ``out_h x out_w``); ``None`` means all
+        of them.  Chunked lowering passes the block's positions here so
+        the full index table is never materialized.
+        """
+        if positions is None:
+            positions = np.arange(self.n_positions, dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+        oi, oj = np.divmod(positions, self.out_w)
+        return (oi * self.stride) * self.width + oj * self.stride
+
+    def gather_indices(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """(patch_len, len(positions)) indices into the flat activation."""
+        return (
+            self.patch_offsets()[:, None] + self.position_offsets(positions)[None, :]
         )
-        position_offsets = oi * self.width + oj  # (out_h, out_w)
-        flat = patch_offsets.reshape(-1, 1) + position_offsets.reshape(1, -1)
-        return flat.astype(np.int64)
 
 
 def lower_shares(spec: Im2colSpec, activation: np.ndarray) -> np.ndarray:
@@ -123,6 +200,33 @@ def lower_shares(spec: Im2colSpec, activation: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(
         gathered.transpose(0, 2, 1).reshape(spec.patch_len, -1)
     )
+
+
+def lower_shares_block(
+    spec: Im2colSpec, activation: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Lower columns ``[lo, hi)`` of :func:`lower_shares`'s output only.
+
+    Columns are the image-major flat axis (``batch * n_positions``, image
+    outer).  The result is ``(patch_len, hi - lo)`` and byte-identical to
+    ``lower_shares(spec, activation)[:, lo:hi]``, but only the block —
+    never the full patch matrix or the full gather-index table — is
+    materialized.
+    """
+    act = np.asarray(activation)
+    if act.ndim != 2 or act.shape[0] != spec.in_features:
+        raise ConfigError(
+            f"expected ({spec.in_features}, batch) activation, got {act.shape}"
+        )
+    total = act.shape[1] * spec.n_positions
+    if not (0 <= lo <= hi <= total):
+        raise ConfigError(
+            f"column block [{lo}, {hi}) outside [0, {total}) lowered columns"
+        )
+    cols = np.arange(lo, hi, dtype=np.int64)
+    imgs, poss = np.divmod(cols, spec.n_positions)
+    idx = spec.gather_indices(poss)  # (patch_len, hi - lo)
+    return np.ascontiguousarray(act[idx, imgs[None, :]])
 
 
 def lift_output(spec: Im2colSpec, out_channels: int, product: np.ndarray) -> np.ndarray:
@@ -203,6 +307,14 @@ class PoolSpec:
                 "secure average pooling needs a power-of-two window "
                 "(division becomes share-local truncation)"
             )
+        _check_index_limit(
+            "pool input (channels * height * width)",
+            channels=self.channels, height=self.height, width=self.width,
+        )
+        _check_index_limit(
+            "pool window table (out_features * window)",
+            out_features=self.out_features, window=self.window,
+        )
 
     @property
     def window(self) -> int:
@@ -232,14 +344,16 @@ class PoolSpec:
     def gather_indices(self) -> np.ndarray:
         """(out_features, window) indices into the flat activation."""
         k = self.kernel
-        c_idx = np.arange(self.channels)[:, None, None]
-        oi = np.arange(self.out_h)[None, :, None]
-        oj = np.arange(self.out_w)[None, None, :]
+        c_idx = np.arange(self.channels, dtype=np.int64)[:, None, None]
+        oi = np.arange(self.out_h, dtype=np.int64)[None, :, None]
+        oj = np.arange(self.out_w, dtype=np.int64)[None, None, :]
         base = (c_idx * self.height + oi * k) * self.width + oj * k
         base = base.reshape(-1, 1)  # (out_features, 1)
-        di, dj = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+        di, dj = np.meshgrid(
+            np.arange(k, dtype=np.int64), np.arange(k, dtype=np.int64), indexing="ij"
+        )
         offsets = (di * self.width + dj).reshape(1, -1)  # (1, window)
-        return (base + offsets).astype(np.int64)
+        return base + offsets
 
 
 def gather_windows(spec: PoolSpec, activation: np.ndarray) -> np.ndarray:

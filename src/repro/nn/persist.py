@@ -56,13 +56,18 @@ def scheme_from_dict(data: dict) -> FragmentScheme:
 def _spec_to_dict(spec: Im2colSpec | None) -> dict | None:
     if spec is None:
         return None
-    return {
+    data = {
         "in_channels": spec.in_channels,
         "height": spec.height,
         "width": spec.width,
         "kernel": spec.kernel,
         "stride": spec.stride,
     }
+    # The chunking policy is optional metadata: emitted only when set so
+    # unchunked bundles stay byte-identical to the historical layout.
+    if spec.chunk_cols is not None:
+        data["chunk_cols"] = spec.chunk_cols
+    return data
 
 
 def _spec_from_dict(data: dict | None) -> Im2colSpec | None:

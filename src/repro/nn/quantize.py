@@ -24,7 +24,7 @@ reference and the secure two-party protocol consume.  Design decisions
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -362,6 +362,27 @@ def _collect_linear_layers(
     return [tuple(entry) for entry in collected]
 
 
+def set_chunk_cols(model: QuantizedModel, chunk_cols: int | None) -> QuantizedModel:
+    """A copy of ``model`` with every conv layer's ``chunk_cols`` replaced.
+
+    ``chunk_cols`` bounds the lowered-operand columns the secure linear
+    layers materialize at once (see :class:`~repro.nn.lowering.Im2colSpec`).
+    Weights, bias, and scheme objects are shared with the original —
+    chunking is a local memory policy, it never changes results, wire
+    bytes, or the model fingerprint — so variants are cheap to spawn.
+    """
+    layers = [
+        replace(layer, conv=replace(layer.conv, chunk_cols=chunk_cols))
+        if layer.conv is not None
+        else layer
+        for layer in model.layers
+    ]
+    return QuantizedModel(
+        layers, model.ring, model.encoder.frac_bits,
+        output_deferral=model.output_deferral,
+    )
+
+
 def quantize_model(
     model: Sequential,
     scheme: FragmentScheme | list[FragmentScheme],
@@ -369,6 +390,7 @@ def quantize_model(
     frac_bits: int = 6,
     input_shape: tuple[int, int, int] | None = None,
     linear_backend: str = "im2col",
+    chunk_cols: int | None = None,
 ) -> QuantizedModel:
     """Quantize every linear layer of ``model`` onto fragment scheme(s).
 
@@ -385,6 +407,10 @@ def quantize_model(
     Each marked layer must pass the transform-domain ring-headroom check
     (:func:`repro.nn.winograd.check_winograd_headroom`) or a
     :class:`~repro.errors.ConfigError` is raised.
+
+    ``chunk_cols`` bounds the lowered-operand columns each conv layer's
+    secure matmul materializes at once (``None`` = unchunked; see
+    :func:`set_chunk_cols` to change it on an existing model).
     """
     if linear_backend not in ("im2col", "winograd"):
         raise QuantizationError(f"unknown linear backend {linear_backend!r}")
@@ -429,7 +455,8 @@ def quantize_model(
                 weights=q,
                 bias_int=bias_int,
                 truncate_bits=truncate_bits,
-                conv=spec,
+                conv=spec if spec is None or chunk_cols is None
+                else replace(spec, chunk_cols=chunk_cols),
                 pool=pool,
                 backend=backend,
             )

@@ -193,6 +193,48 @@ def lower_tiles(spec: WinogradSpec, activation: np.ndarray, ring: Ring) -> np.nd
     )
 
 
+def lower_tiles_block(
+    spec: WinogradSpec, activation: np.ndarray, ring: Ring, lo: int, hi: int
+) -> np.ndarray:
+    """Lower columns ``[lo, hi)`` of :func:`lower_tiles`'s output only.
+
+    Columns are the image-major flat tile axis (``batch * n_tiles``,
+    image outer, tiles row-major over ``tiles_h x tiles_w``).  The result
+    is ``(16 * in_channels, hi - lo)``, byte-identical to
+    ``lower_tiles(spec, activation, ring)[:, lo:hi]``, but only the
+    block's 4x4 windows — never the full transformed operand — are
+    materialized (the zero-padded input cube is the same size as the
+    activation itself, which the caller holds anyway).
+    """
+    act = np.asarray(activation)
+    if act.ndim != 2 or act.shape[0] != spec.in_features:
+        raise ConfigError(
+            f"expected ({spec.in_features}, batch) activation, got {act.shape}"
+        )
+    batch = act.shape[1]
+    total = batch * spec.n_tiles
+    if not (0 <= lo <= hi <= total):
+        raise ConfigError(
+            f"column block [{lo}, {hi}) outside [0, {total}) tile columns"
+        )
+    bt, _ = _transform_mats(ring.bits)
+    cube = ring.reduce(act).reshape(spec.in_channels, spec.height, spec.width, batch)
+    padded = np.zeros((spec.in_channels, spec.pad_h, spec.pad_w, batch), dtype=_U64)
+    padded[:, : spec.height, : spec.width] = cube
+    cols = np.arange(lo, hi, dtype=np.int64)
+    imgs, tiles = np.divmod(cols, spec.n_tiles)
+    ti, tj = np.divmod(tiles, spec.tiles_w)
+    span = np.arange(4, dtype=np.int64)
+    rows = 2 * ti[:, None] + span[None, :]  # (ncols, 4)
+    colns = 2 * tj[:, None] + span[None, :]  # (ncols, 4)
+    # (C, ncols, 4, 4): each block column's 4x4 window.
+    windows = padded[:, rows[:, :, None], colns[:, None, :], imgs[:, None, None]]
+    xt = ring.reduce(bt @ windows @ bt.T)  # (C, ncols, 4, 4)
+    return np.ascontiguousarray(
+        xt.transpose(2, 3, 0, 1).reshape(16 * spec.in_channels, hi - lo)
+    )
+
+
 def lift_tiles(
     spec: WinogradSpec, out_channels: int, product: np.ndarray, ring: Ring
 ) -> np.ndarray:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigError
 from repro.quant.fragments import FragmentScheme
+from repro.utils.ring import MATMUL_EXPANSION_WORDS
 
 KAPPA = 128
 
@@ -163,6 +164,85 @@ def network_offline_comm_bits(
     return sum(
         abnn2_comm_bits(scheme, m, n, o, ring_bits, mode, kappa)
         for m, n in layer_shapes
+    )
+
+
+# --------------------------------------------------------------------- #
+# memory: peak working sets of the linear online pass
+# --------------------------------------------------------------------- #
+#: int64 ring words everywhere in the share pipeline.
+WORD_BYTES = 8
+
+
+def _matmul_intermediate_words(m: int, n: int, cols: int) -> int:
+    """Peak expanded (rows, n, cols) intermediate of ``Ring.matmul``.
+
+    The ring product materializes row chunks of the elementwise
+    ``(m, n, cols)`` expansion under the
+    :data:`repro.utils.ring.MATMUL_EXPANSION_WORDS` budget, so the
+    transient is ``min(m, budget // (n cols)) * n * cols`` words (at
+    least one row).
+    """
+    if cols == 0:
+        return 0
+    rows = min(m, max(1, MATMUL_EXPANSION_WORDS // (n * cols)))
+    return rows * n * cols
+
+
+def lowered_operand_bytes(
+    n: int, total_cols: int, groups: int = 1, word_bytes: int = WORD_BYTES
+) -> int:
+    """Bytes of one layer's fully-materialized lowered operand.
+
+    The share matrix the linear engines consume is ``(groups * n,
+    total_cols)`` int64 — ``n`` is the per-group operand rows
+    (``patch_len`` for im2col, ``c_in`` per tile point for winograd,
+    ``in_features`` for dense) and ``total_cols`` is ``batch *
+    n_positions`` / ``batch * n_tiles`` / ``batch``.  This is the
+    allocation the chunked path (``Im2colSpec.chunk_cols``) avoids.
+    """
+    if min(n, groups) < 1 or total_cols < 0:
+        raise ConfigError("operand dimensions must be positive")
+    return groups * n * total_cols * word_bytes
+
+
+def linear_working_set_bytes(
+    m: int,
+    n: int,
+    total_cols: int,
+    groups: int = 1,
+    chunk_cols: int | None = None,
+    word_bytes: int = WORD_BYTES,
+) -> int:
+    """Predicted transient peak of the server's online linear step for
+    one layer, excluding persistent state (weights, the banked ``U``,
+    the accumulated output share).
+
+    Unchunked, the pass materializes the whole lowered operand
+    (``groups n`` rows), the product (``groups m`` rows) and the summed
+    output (``groups m`` rows) at full width: ``total_cols * groups *
+    (n + 2m)`` words.  Chunked at ``c = min(chunk_cols, total_cols)``
+    columns, each block holds the lowered block, the product, the sum
+    *and* a copy of the served ``U`` columns (block reads may
+    concatenate across bank blocks): ``c * groups * (n + 3m)`` words.
+    Both forms add the row-chunked expansion transient of
+    ``Ring.matmul`` at the block's column count (the groups run
+    sequentially, so one group's expansion is live at a time).  The
+    ratio to :func:`lowered_operand_bytes` is what the big-model
+    benchmark's RSS gate measures end to end.
+    """
+    if min(m, n, groups) < 1 or total_cols < 0:
+        raise ConfigError("matmul dimensions must be positive")
+    if chunk_cols is None or chunk_cols >= total_cols:
+        return word_bytes * (
+            total_cols * groups * (n + 2 * m)
+            + _matmul_intermediate_words(m, n, total_cols)
+        )
+    if chunk_cols < 1:
+        raise ConfigError("chunk_cols must be positive")
+    return word_bytes * (
+        chunk_cols * groups * (n + 3 * m)
+        + _matmul_intermediate_words(m, n, chunk_cols)
     )
 
 

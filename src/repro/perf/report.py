@@ -34,6 +34,8 @@ from repro.perf.costmodel import (
     abnn2_comm_bits_radices,
     gc_relu_wire_bits,
     gc_stream_overhead_bits,
+    linear_working_set_bytes,
+    lowered_operand_bytes,
 )
 from repro.perf.trace import iter_spans
 
@@ -192,6 +194,89 @@ def check_conformance(trace: dict[str, Any]) -> list[str]:
                 f"[{lo}, {hi}] (predicted {row.predicted_bits}, {row.detail})"
             )
     return failures
+
+
+# --------------------------------------------------------------------- #
+# memory: measured vs predicted working sets
+# --------------------------------------------------------------------- #
+@dataclass
+class MemoryRow:
+    """One linear-layer span's allocation peak next to the closed form.
+
+    Informational (no FAIL gate): the closed form counts only the
+    dominant share-pipeline arrays, while the measured peak includes
+    gather index tables, temporaries inside BLAS calls and interpreter
+    noise.  The big-model benchmark applies the hard RSS gate; this
+    table is for reading a trace.
+    """
+
+    path: str
+    detail: str
+    measured_bytes: int | None  # alloc_peak_bytes; None when memory mode was off
+    predicted_bytes: int | None  # closed-form working set; None when unmodeled
+    operand_bytes: int | None  # full lowered operand the chunked path avoids
+
+
+def memory_rows(trace: dict[str, Any]) -> list[MemoryRow]:
+    """Every ``matmul`` span with its predicted peak working set."""
+    rows: list[MemoryRow] = []
+    for path, span in iter_spans(trace):
+        if span["name"] != "matmul":
+            continue
+        attrs = span.get("attrs", {})
+        measured = span.get("alloc_peak_bytes")
+        needed = ("m", "n", "o", "groups")
+        if all(key in attrs for key in needed):
+            m, n, o = attrs["m"], attrs["n"], attrs["o"]
+            groups = attrs["groups"]
+            chunk = attrs.get("chunk_cols")
+            predicted = linear_working_set_bytes(m, n, o, groups, chunk)
+            operand = lowered_operand_bytes(n, o, groups)
+            detail = (
+                f"m={m} n={n} o={o} groups={groups} "
+                f"chunk={'-' if chunk is None else chunk}"
+            )
+        else:
+            predicted, operand, detail = None, None, "missing dimensions"
+        rows.append(MemoryRow(path, detail, measured, predicted, operand))
+    return rows
+
+
+def _fmt_mem(nbytes: int | None) -> str:
+    if nbytes is None:
+        return "-"
+    if nbytes >= 1024 * 1024:
+        return f"{nbytes / (1024 * 1024):.2f} MiB"
+    if nbytes >= 1024:
+        return f"{nbytes / 1024:.2f} KiB"
+    return f"{nbytes} B"
+
+
+def render_memory_report(trace: dict[str, Any]) -> str:
+    """The ``python -m repro report --memory`` section."""
+    out = ["memory (per-span allocation peaks vs closed-form working sets):"]
+    peak_rss = trace["root"].get("attrs", {}).get("peak_rss_bytes")
+    if peak_rss is not None:
+        out.append(f"  process peak RSS: {_fmt_mem(peak_rss)}")
+    rows = memory_rows(trace)
+    if not rows:
+        out.append("  (no matmul spans in this trace)")
+        return "\n".join(out)
+    out.append(
+        f"  {'span':<28} {'measured':>12} {'predicted':>12} {'full operand':>13}"
+    )
+    for row in rows:
+        out.append(
+            f"  {row.path:<28} {_fmt_mem(row.measured_bytes):>12}"
+            f" {_fmt_mem(row.predicted_bytes):>12} {_fmt_mem(row.operand_bytes):>13}"
+        )
+        out.append(f"      {row.detail}")
+    if all(row.measured_bytes is None for row in rows):
+        out.append(
+            "  (measured column empty: record with ABNN2_TRACE_MEMORY=1 "
+            "or Tracer(memory=True))"
+        )
+    return "\n".join(out)
 
 
 # --------------------------------------------------------------------- #

@@ -31,6 +31,18 @@ taxonomy and the document layout.  Per-span ``self`` counters hold
 traffic attributed to that span exclusive of children; ``total``
 counters (self + descendants) are computed at export time.
 
+Memory mode (``Tracer(memory=True)``, or env ``ABNN2_TRACE_MEMORY=1``)
+adds per-span **allocation high-water marks** via :mod:`tracemalloc`:
+each span records the peak python-heap growth observed while it was
+open, relative to the heap size at its own start.  The peak is folded
+into every open span at each span boundary and at export, so nested
+spans see their own maxima even though :func:`tracemalloc.reset_peak`
+is global.  The exported root span additionally carries the process
+``peak_rss_bytes`` (``VmHWM``).  Module-level helpers
+:func:`current_rss_bytes` / :func:`peak_rss_bytes` /
+:func:`reset_peak_rss` expose the OS-level counters directly for
+benchmarks that measure working sets without tracemalloc overhead.
+
 Thread model: one tracer belongs to one party thread.  Attaching the
 same tracer to channels driven from two threads is unsupported.
 """
@@ -38,7 +50,9 @@ same tracer to channels driven from two threads is unsupported.
 from __future__ import annotations
 
 import json
+import os
 import time
+import tracemalloc
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Iterator
 
@@ -49,6 +63,63 @@ TRACE_SCHEMA = "abnn2-trace/1"
 
 _SEND = "send"
 _RECV = "recv"
+
+#: Env var that turns on allocation tracking for every Tracer by default.
+MEMORY_ENV = "ABNN2_TRACE_MEMORY"
+
+
+# --------------------------------------------------------------------- #
+# process-level memory counters
+# --------------------------------------------------------------------- #
+def _read_status_kb(field: str) -> int | None:
+    """One ``Vm*`` line of ``/proc/self/status`` in bytes, or None."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _rusage_maxrss_bytes() -> int:
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def current_rss_bytes() -> int:
+    """Resident set size of this process right now (``VmRSS``).
+
+    Falls back to ``ru_maxrss`` (a *peak*, so an upper bound) on
+    platforms without ``/proc``.
+    """
+    value = _read_status_kb("VmRSS")
+    return value if value is not None else _rusage_maxrss_bytes()
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size since process start or the last
+    :func:`reset_peak_rss` (``VmHWM``, with ``ru_maxrss`` fallback)."""
+    value = _read_status_kb("VmHWM")
+    return value if value is not None else _rusage_maxrss_bytes()
+
+
+def reset_peak_rss() -> bool:
+    """Reset the kernel's RSS high-water mark (``VmHWM``) to the current
+    RSS by writing ``5`` to ``/proc/self/clear_refs``.
+
+    Returns True when the reset took effect; False on platforms without
+    the knob (callers should then measure in a fresh subprocess, as the
+    big-model benchmark does).
+    """
+    try:
+        with open("/proc/self/clear_refs", "w", encoding="ascii") as fh:
+            fh.write("5")
+    except OSError:
+        return False
+    return True
 
 
 class Span:
@@ -67,6 +138,8 @@ class Span:
         "sent_msgs",
         "recv_msgs",
         "rounds",
+        "alloc_base",
+        "alloc_peak_bytes",
     )
 
     def __init__(self, name: str, attrs: dict[str, Any], parent: "Span | None") -> None:
@@ -81,6 +154,10 @@ class Span:
         self.sent_msgs = 0
         self.recv_msgs = 0
         self.rounds = 0
+        # Heap size when the span opened and the peak growth above it,
+        # maintained by the owning tracer in memory mode (else None).
+        self.alloc_base = 0
+        self.alloc_peak_bytes: int | None = None
 
     @property
     def path(self) -> str:
@@ -115,7 +192,7 @@ class Span:
         duration = self.duration_s
         if duration is None:
             duration = (now_s if now_s is not None else time.perf_counter()) - self.start_s
-        return {
+        node = {
             "name": self.name,
             "attrs": dict(self.attrs),
             "duration_s": duration,
@@ -129,6 +206,9 @@ class Span:
             "total": self.totals(),
             "children": [child.to_dict(now_s) for child in self.children],
         }
+        if self.alloc_peak_bytes is not None:
+            node["alloc_peak_bytes"] = self.alloc_peak_bytes
+        return node
 
     def __repr__(self) -> str:
         return f"Span({self.path!r}, sent={self.sent_bytes}, recv={self.recv_bytes})"
@@ -137,16 +217,47 @@ class Span:
 class Tracer:
     """Per-party span stack plus the channel IO hook (:meth:`record_io`)."""
 
-    def __init__(self, party: str = "", clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        party: str = "",
+        clock: Callable[[], float] = time.perf_counter,
+        memory: bool | None = None,
+    ) -> None:
+        if memory is None:
+            memory = os.environ.get(MEMORY_ENV, "").lower() in ("1", "true", "yes", "on")
         self.party = party
         self._clock = clock
+        self.memory = memory
+        if memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
         self.root = Span("root", {"party": party} if party else {}, parent=None)
         self.root.start_s = clock()
+        if memory:
+            self.root.alloc_base = tracemalloc.get_traced_memory()[0]
+            self.root.alloc_peak_bytes = 0
         self._stack: list[Span] = [self.root]
         # Direction of the last IO event seen by this tracer, across span
         # boundaries: rounds are a property of the message *stream*, so a
         # span that continues the previous direction opens no new round.
         self._last_dir: str | None = None
+
+    def _fold_alloc_peak(self) -> None:
+        """Fold the tracemalloc peak of the segment since the previous
+        boundary into every open span, then reset the (global) peak.
+
+        ``alloc_base`` and the tracemalloc peak are both absolute heap
+        sizes, so ``peak - base`` is each span's growth high-water for
+        this segment; the running max across segments is exactly the
+        span-lifetime peak a per-span counter would have recorded.
+        """
+        if not self.memory or not tracemalloc.is_tracing():
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        for span in self._stack:
+            growth = peak - span.alloc_base
+            if span.alloc_peak_bytes is None or growth > span.alloc_peak_bytes:
+                span.alloc_peak_bytes = max(growth, 0)
+        tracemalloc.reset_peak()
 
     # ------------------------------------------------------------------ #
     # span lifecycle
@@ -157,8 +268,12 @@ class Tracer:
         object after an exception."""
         if not name:
             raise ConfigError("span name must be non-empty")
+        self._fold_alloc_peak()
         span = Span(name, attrs, parent=self._stack[-1])
         span.start_s = self._clock()
+        if self.memory and tracemalloc.is_tracing():
+            span.alloc_base = tracemalloc.get_traced_memory()[0]
+            span.alloc_peak_bytes = 0
         self._stack[-1].children.append(span)
         self._stack.append(span)
         return span
@@ -168,6 +283,7 @@ class Tracer:
         an exception left dangling)."""
         if span not in self._stack:
             raise ConfigError(f"span {span.path!r} is not open")
+        self._fold_alloc_peak()
         now = self._clock()
         while True:
             top = self._stack.pop()
@@ -223,6 +339,7 @@ class Tracer:
         span.sent_msgs = root.sent_msgs
         span.recv_msgs = root.recv_msgs
         span.rounds = root.rounds
+        span.alloc_peak_bytes = root.alloc_peak_bytes
         for sub in root.children:
             sub.parent = span
         span.children = list(root.children)
@@ -265,7 +382,17 @@ class Tracer:
     # export
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
-        """The schema-versioned JSON document for this trace."""
+        """The schema-versioned JSON document for this trace.
+
+        In memory mode the export folds the outstanding allocation
+        segment into every still-open span and stamps the process peak
+        RSS (``VmHWM``) onto the root attributes, so the document is a
+        complete memory record without requiring the caller to close
+        the root explicitly.
+        """
+        self._fold_alloc_peak()
+        if self.memory:
+            self.root.attrs["peak_rss_bytes"] = peak_rss_bytes()
         return {
             "schema": TRACE_SCHEMA,
             "party": self.party,

@@ -20,15 +20,30 @@ Round layout inside the ``.npz`` (round ``r``, layer ``i``):
 * ``r{r}_relu{i}`` — the client's fresh ReLU output share (hidden layers),
 * ``r{r}_pool{i}`` — the client's max-pool reshare (only where present),
 * ``r{r}_mask`` — the client's input mask.
+
+A share the streamed dealer produced in column blocks
+(:class:`repro.core.triplets.BlockedShare`) is stored block-by-block as
+``r{r}_u{i}_b{j}`` / ``r{r}_v{i}_b{j}`` with the per-layer block counts
+recorded in the manifest (``u_blocks`` / ``v_blocks``; absent or 0 means
+the historical single-array key).  Bundles holding only plain arrays are
+byte-compatible with pre-streaming readers.
+
+Writes are **atomic**: the bundle is staged to a temp file in the target
+directory and :func:`os.replace`'d into place, so a crash mid-save leaves
+either the old bank or no bank — never a truncated ``.npz`` that poisons
+the next restart.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 
 import numpy as np
 
+from repro.core.triplets import BlockedShare
 from repro.errors import ConfigError
 from repro.nn.quantize import QuantizedModel
 
@@ -56,20 +71,35 @@ def model_fingerprint(model: QuantizedModel) -> str:
     return h.hexdigest()
 
 
-def save_bank(path, *, fingerprint: str, batch: int, rounds: list[dict]) -> None:
-    """Write banked offline rounds to an ``.npz`` bundle.
+def _store_share(arrays: dict, key: str, share) -> int:
+    """Stash one U/V share; returns its block count (0 = plain array)."""
+    if isinstance(share, BlockedShare):
+        for j, block in enumerate(share.blocks()):
+            arrays[f"{key}_b{j}"] = np.asarray(block, dtype=np.uint64)
+        return share.n_blocks
+    arrays[key] = np.asarray(share, dtype=np.uint64)
+    return 0
 
-    ``rounds`` entries are dicts with ``server_us`` (list of arrays) and
-    ``client`` (the :meth:`Abnn2Client.export_offline_round` dict).
+
+def save_bank(path, *, fingerprint: str, batch: int, rounds: list[dict]) -> None:
+    """Atomically write banked offline rounds to an ``.npz`` bundle.
+
+    ``rounds`` entries are dicts with ``server_us`` (list of arrays or
+    :class:`BlockedShare`) and ``client`` (the
+    :meth:`Abnn2Client.export_offline_round` dict).
     """
     pool_present: list[list[bool]] = []
+    u_blocks: list[list[int]] = []
+    v_blocks: list[list[int]] = []
     arrays: dict[str, np.ndarray] = {}
     for r, rnd in enumerate(rounds):
         client = rnd["client"]
-        for i, u in enumerate(rnd["server_us"]):
-            arrays[f"r{r}_u{i}"] = np.asarray(u, dtype=np.uint64)
-        for i, v in enumerate(client["v"]):
-            arrays[f"r{r}_v{i}"] = np.asarray(v, dtype=np.uint64)
+        u_blocks.append(
+            [_store_share(arrays, f"r{r}_u{i}", u) for i, u in enumerate(rnd["server_us"])]
+        )
+        v_blocks.append(
+            [_store_share(arrays, f"r{r}_v{i}", v) for i, v in enumerate(client["v"])]
+        )
         for i, z1 in enumerate(client["relu_shares"]):
             arrays[f"r{r}_relu{i}"] = np.asarray(z1, dtype=np.uint64)
         present = []
@@ -88,9 +118,33 @@ def save_bank(path, *, fingerprint: str, batch: int, rounds: list[dict]) -> None
         "n_layers": n_layers,
         "pool_present": pool_present,
     }
+    # Blocked-share counts are recorded only when present, keeping
+    # all-plain bundles byte-identical to the historical layout.
+    if any(any(counts) for counts in u_blocks):
+        manifest["u_blocks"] = u_blocks
+    if any(any(counts) for counts in v_blocks):
+        manifest["v_blocks"] = v_blocks
     arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
-    with open(path, "wb") as fh:
-        np.savez(fh, **arrays)
+    # Stage next to the target so os.replace stays a same-filesystem
+    # atomic rename: a crash anywhere before the replace leaves the old
+    # bank (or nothing) on disk, never a truncated bundle.
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_bank(path, *, fingerprint: str, batch: int) -> list[dict]:
@@ -118,11 +172,21 @@ def load_bank(path, *, fingerprint: str, batch: int) -> list[dict]:
                 f"server is configured for batch={batch}"
             )
         n_layers = manifest["n_layers"]
+        u_blocks = manifest.get("u_blocks")
+        v_blocks = manifest.get("v_blocks")
+
+        def _load_share(key: str, n_b: int):
+            if n_b:
+                return BlockedShare([bundle[f"{key}_b{j}"] for j in range(n_b)])
+            return bundle[key]
+
         rounds = []
         for r in range(manifest["n_rounds"]):
             present = manifest["pool_present"][r]
+            u_counts = u_blocks[r] if u_blocks else [0] * n_layers
+            v_counts = v_blocks[r] if v_blocks else [0] * n_layers
             client = {
-                "v": [bundle[f"r{r}_v{i}"] for i in range(n_layers)],
+                "v": [_load_share(f"r{r}_v{i}", v_counts[i]) for i in range(n_layers)],
                 "relu_shares": [bundle[f"r{r}_relu{i}"] for i in range(n_layers - 1)],
                 "pool_shares": [
                     bundle[f"r{r}_pool{i}"] if present[i] else None
@@ -132,7 +196,9 @@ def load_bank(path, *, fingerprint: str, batch: int) -> list[dict]:
             }
             rounds.append(
                 {
-                    "server_us": [bundle[f"r{r}_u{i}"] for i in range(n_layers)],
+                    "server_us": [
+                        _load_share(f"r{r}_u{i}", u_counts[i]) for i in range(n_layers)
+                    ],
                     "client": client,
                 }
             )

@@ -19,6 +19,12 @@ from repro.errors import ConfigError
 
 _U64 = np.uint64
 
+#: Word budget for the expanded (rows, n, cols) intermediate inside
+#: :meth:`Ring.matmul` — the uint64 product is materialized in row chunks
+#: no larger than this, bounding the transient at ~8 MiB regardless of
+#: the matrix sizes.  The memory cost model prices the same constant.
+MATMUL_EXPANSION_WORDS = 1 << 20
+
 
 class Ring:
     """The ring of integers modulo ``2**bits`` for ``1 <= bits <= 64``.
@@ -82,12 +88,14 @@ class Ring:
         b = np.asarray(b, dtype=_U64)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise ConfigError(f"incompatible matmul shapes {a.shape} x {b.shape}")
-        # (m, n, 1) * (1, n, o) summed over n.  Memory is m*n*o words; the
-        # dimensions in this codebase (<= 128 x 784 x 128) stay manageable,
-        # but chunk over rows to bound the peak.
+        # (m, n, 1) * (1, n, o) summed over n, chunked over rows so the
+        # expanded intermediate stays within MATMUL_EXPANSION_WORDS (each
+        # row chunk still amortizes the python loop over >= a million
+        # multiply-adds).  The memory cost model prices this same bound
+        # (repro.perf.costmodel.linear_working_set_bytes).
         m = a.shape[0]
         out = np.empty((m, b.shape[1]), dtype=_U64)
-        chunk = max(1, (1 << 22) // max(1, b.size))
+        chunk = max(1, MATMUL_EXPANSION_WORDS // max(1, b.size))
         for lo in range(0, m, chunk):
             hi = min(m, lo + chunk)
             prod = a[lo:hi, :, None] * b[None, :, :]

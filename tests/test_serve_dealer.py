@@ -1,0 +1,219 @@
+"""Streamed trusted-dealer generation + atomic banked persistence.
+
+The dealer (:mod:`repro.serve.dealer`) produces offline rounds in
+closed form, block by block, with conv-layer shares arriving as
+:class:`~repro.core.triplets.BlockedShare`.  These tests pin:
+
+* a dealt round drops into the unchanged online phase and yields
+  logits byte-identical across online ``chunk_cols`` settings, close
+  to the plaintext integer reference (truncation noise only);
+* determinism in ``(model, batch, seed, stream_chunk_cols)``;
+* the dealer-backed :class:`~repro.serve.bank.TripletBank` serves
+  rounds with zero generation traffic;
+* banked ``BlockedShare`` material round-trips through
+  :mod:`repro.serve.persist`, whose writes are atomic (crash
+  mid-write leaves the previous bundle intact).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import Abnn2Client, Abnn2Server, ModelMeta
+from repro.core.triplets import BlockedShare
+from repro.errors import ConfigError
+from repro.net.runner import run_protocol
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.model import Sequential
+from repro.nn.quantize import quantize_model, set_chunk_cols
+from repro.serve.bank import TripletBank
+from repro.serve.dealer import dealer_offline_round
+from repro.serve.persist import load_bank, model_fingerprint, save_bank
+from repro.quant.fragments import TABLE2_SCHEMES
+from repro.utils.ring import Ring
+
+BATCH = 2
+
+
+@pytest.fixture(scope="module")
+def qmodel():
+    net = Sequential(
+        [
+            Conv2d(1, 2, 3, seed=6),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Dense(2 * 3 * 3, 4, seed=7),
+        ]
+    )
+    return quantize_model(
+        net,
+        TABLE2_SCHEMES["4(2,2)"],
+        Ring(32),
+        frac_bits=5,
+        input_shape=(1, 8, 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def meta(qmodel):
+    return ModelMeta.from_model(qmodel)
+
+
+def _run_online(model, meta, x_ring, server_us, client_material, group):
+    def server_fn(chan):
+        server = Abnn2Server(chan, model, BATCH, group=group, seed=1)
+        server.load_offline_round(server_us)
+        return server.online()
+
+    def client_fn(chan):
+        client = Abnn2Client(chan, meta, BATCH, group=group, seed=2)
+        client.load_offline_round(client_material)
+        return client.online(x_ring)
+
+    return run_protocol(server_fn, client_fn, timeout_s=120.0).client
+
+
+class TestDealerRound:
+    def test_blocked_types_and_shapes(self, qmodel):
+        us, material = dealer_offline_round(
+            qmodel, BATCH, seed=5, stream_chunk_cols=7
+        )
+        assert isinstance(us[0], BlockedShare)  # conv layer stays blocked
+        assert isinstance(us[-1], np.ndarray)  # dense layer is plain
+        assert isinstance(material["v"][0], BlockedShare)
+        assert us[0].shape == (2, BATCH * 36)
+        assert material["input_mask"].shape == (64, BATCH)
+        assert material["pool_shares"][0] is not None  # max pool resharing
+
+    def test_determinism(self, qmodel):
+        a_us, a_mat = dealer_offline_round(qmodel, BATCH, seed=5, stream_chunk_cols=7)
+        b_us, b_mat = dealer_offline_round(qmodel, BATCH, seed=5, stream_chunk_cols=7)
+        for a, b in zip(a_us, b_us):
+            a = a.materialize() if isinstance(a, BlockedShare) else a
+            b = b.materialize() if isinstance(b, BlockedShare) else b
+            assert (a == b).all()
+        assert (a_mat["input_mask"] == b_mat["input_mask"]).all()
+        # different stream chunking consumes the RNG differently
+        c_us, _ = dealer_offline_round(qmodel, BATCH, seed=5, stream_chunk_cols=13)
+        assert not (c_us[0].materialize() == a_us[0].materialize()).all()
+
+    def test_online_identical_across_chunkings(self, qmodel, meta, test_group):
+        rng = np.random.default_rng(42)
+        x = rng.random((BATCH, 64))
+        x_ring = qmodel.encoder.encode(x.T)
+        us, material = dealer_offline_round(
+            qmodel, BATCH, seed=9, stream_chunk_cols=11, group=test_group
+        )
+        baseline = None
+        for chunk in (None, 1, 7, 10**6):
+            model = set_chunk_cols(qmodel, chunk)
+            logits = _run_online(
+                model, ModelMeta.from_model(model), x_ring, us, material, test_group
+            )
+            if baseline is None:
+                baseline = logits
+                ring = qmodel.ring
+                expected = qmodel.forward_int(x_ring)
+                diff = ring.to_signed(ring.sub(logits, expected))
+                assert np.abs(diff).max() <= 64  # truncation noise only
+            assert (logits == baseline).all(), f"chunk={chunk}"
+
+    def test_validation(self, qmodel):
+        with pytest.raises(ConfigError):
+            dealer_offline_round(qmodel, 0, seed=1)
+
+
+class TestDealerBank:
+    def test_dealer_bank_serves_with_zero_traffic(self, qmodel, test_group):
+        bank = TripletBank(
+            qmodel,
+            BATCH,
+            capacity=2,
+            auto_replenish=False,
+            generator="dealer",
+            stream_chunk_cols=7,
+            seed=3,
+            group=test_group,
+        )
+        assert bank.fill(2) == 2
+        metrics = bank.metrics()
+        assert metrics["generator"] == "dealer"
+        assert metrics["generation_payload_bytes"] == 0
+        round_ = bank.take()
+        assert isinstance(round_.server_us[0], BlockedShare)
+        bank.stop()
+
+    def test_generator_validated(self, qmodel):
+        with pytest.raises(ConfigError):
+            TripletBank(qmodel, BATCH, generator="oracle", auto_replenish=False)
+        with pytest.raises(ConfigError):
+            TripletBank(
+                qmodel, BATCH, stream_chunk_cols=0, auto_replenish=False
+            )
+
+
+class TestBankPersistence:
+    def _rounds(self, qmodel, chunk):
+        us, material = dealer_offline_round(
+            qmodel, BATCH, seed=4, stream_chunk_cols=chunk
+        )
+        return [{"server_us": us, "client": material}]
+
+    def test_blocked_share_roundtrip(self, qmodel, tmp_path):
+        path = tmp_path / "bank.npz"
+        fp = model_fingerprint(qmodel)
+        rounds = self._rounds(qmodel, 7)
+        save_bank(path, fingerprint=fp, batch=BATCH, rounds=rounds)
+        loaded = load_bank(path, fingerprint=fp, batch=BATCH)
+        assert len(loaded) == 1
+        orig_u = rounds[0]["server_us"][0]
+        back_u = loaded[0]["server_us"][0]
+        assert isinstance(back_u, BlockedShare)
+        assert back_u.n_blocks == orig_u.n_blocks
+        assert (back_u.materialize() == orig_u.materialize()).all()
+        back_v = loaded[0]["client"]["v"][0]
+        assert (
+            back_v.materialize() == rounds[0]["client"]["v"][0].materialize()
+        ).all()
+
+    def test_plain_bundle_layout_unchanged(self, qmodel, tmp_path):
+        """Bundles without BlockedShare keep the historical key set (no
+        ``u_blocks``/``v_blocks`` manifest fields, no ``_b{j}`` keys)."""
+        import json
+
+        path = tmp_path / "bank.npz"
+        fp = model_fingerprint(qmodel)
+        rounds = self._rounds(qmodel, None)
+        assert all(isinstance(u, np.ndarray) for u in rounds[0]["server_us"])
+        save_bank(path, fingerprint=fp, batch=BATCH, rounds=rounds)
+        with np.load(path) as bundle:
+            manifest = json.loads(bytes(bundle["manifest"]).decode())
+            assert "u_blocks" not in manifest and "v_blocks" not in manifest
+            assert not any("_b" in key for key in bundle.files)
+        loaded = load_bank(path, fingerprint=fp, batch=BATCH)
+        assert (loaded[0]["server_us"][0] == rounds[0]["server_us"][0]).all()
+
+    def test_save_is_atomic_under_crash(self, qmodel, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous bundle intact and no
+        temp debris behind (satellite a: temp file + os.replace)."""
+        path = tmp_path / "bank.npz"
+        fp = model_fingerprint(qmodel)
+        rounds = self._rounds(qmodel, 7)
+        save_bank(path, fingerprint=fp, batch=BATCH, rounds=rounds)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            save_bank(path, fingerprint=fp, batch=BATCH, rounds=rounds)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old bundle untouched
+        assert os.listdir(tmp_path) == ["bank.npz"]  # no tmp leftovers
+        loaded = load_bank(path, fingerprint=fp, batch=BATCH)
+        assert len(loaded) == 1

@@ -1,0 +1,223 @@
+"""Memory observability: span allocation peaks, RSS counters, the
+closed-form working-set model and the ``report --memory`` surface.
+
+The tracer's memory mode (:mod:`repro.perf.trace`) folds the global
+:mod:`tracemalloc` peak into every open span at each span boundary, so
+nested spans carry their own allocation high-water marks.  The cost
+model (:mod:`repro.perf.costmodel`) prices the same working sets in
+closed form, including the row-chunked ``Ring.matmul`` expansion bound
+by :data:`repro.utils.ring.MATMUL_EXPANSION_WORDS`.  These tests pin
+both sides plus the report table that joins them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.perf.costmodel import (
+    WORD_BYTES,
+    _matmul_intermediate_words,
+    linear_working_set_bytes,
+    lowered_operand_bytes,
+)
+from repro.perf.report import memory_rows, render_memory_report
+from repro.perf.trace import (
+    MEMORY_ENV,
+    Tracer,
+    current_rss_bytes,
+    peak_rss_bytes,
+    reset_peak_rss,
+)
+from repro.utils.ring import MATMUL_EXPANSION_WORDS
+
+BIG = 32 * 1024 * 1024  # bytes of the "large" allocation below
+SMALL_CAP = 4 * 1024 * 1024
+
+
+class TestSpanAllocPeaks:
+    def test_nested_peaks_attribute_to_the_right_spans(self):
+        tracer = Tracer(memory=True)
+        with tracer.span("outer"):
+            with tracer.span("big"):
+                blob = np.ones(BIG // 8, dtype=np.uint64)
+                del blob
+            with tracer.span("small"):
+                tiny = np.ones(128, dtype=np.uint64)
+                del tiny
+        doc = tracer.to_dict()
+        spans = {s["name"]: s for _, s in _walk(doc["root"])}
+        assert spans["big"]["alloc_peak_bytes"] >= BIG
+        assert spans["small"]["alloc_peak_bytes"] < SMALL_CAP
+        # the parent sees at least its largest child's growth
+        assert spans["outer"]["alloc_peak_bytes"] >= spans["big"]["alloc_peak_bytes"]
+        assert doc["root"]["attrs"]["peak_rss_bytes"] > 0
+
+    def test_memory_off_emits_no_memory_keys(self):
+        tracer = Tracer(memory=False)
+        with tracer.span("phase"):
+            blob = np.ones(1024, dtype=np.uint64)
+            del blob
+        doc = tracer.to_dict()
+        for _, span in _walk(doc["root"]):
+            assert "alloc_peak_bytes" not in span
+        assert "peak_rss_bytes" not in doc["root"]["attrs"]
+
+    def test_env_var_turns_memory_on_by_default(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_ENV, "1")
+        assert Tracer().memory is True
+        monkeypatch.setenv(MEMORY_ENV, "off")
+        assert Tracer().memory is False
+        monkeypatch.delenv(MEMORY_ENV)
+        assert Tracer().memory is False
+
+    def test_adopt_carries_alloc_peak(self):
+        child = Tracer(memory=True)
+        with child.span("work"):
+            blob = np.ones(BIG // 8, dtype=np.uint64)
+            del blob
+        parent = Tracer(memory=True)
+        span = parent.adopt(child, "shard0")
+        # adoption folds the child's root, which saw the big allocation
+        child_doc = child.to_dict()
+        assert span.alloc_peak_bytes == child_doc["root"]["alloc_peak_bytes"]
+
+
+class TestRssCounters:
+    def test_current_and_peak_are_plausible(self):
+        current = current_rss_bytes()
+        peak = peak_rss_bytes()
+        assert current > 1024 * 1024  # a python process is megabytes-big
+        assert peak >= current
+
+    def test_reset_peak_drops_high_water(self):
+        blob = np.ones(BIG // 8, dtype=np.uint64)
+        blob += 1  # force residency
+        del blob
+        if not reset_peak_rss():
+            pytest.skip("clear_refs not supported on this platform")
+        # after the reset the high-water mark restarts near current RSS
+        assert peak_rss_bytes() <= current_rss_bytes() + BIG // 2
+
+
+class TestWorkingSetModel:
+    def test_operand_bytes(self):
+        assert lowered_operand_bytes(18, 72) == 18 * 72 * WORD_BYTES
+        assert lowered_operand_bytes(4, 10, groups=16) == 16 * 4 * 10 * WORD_BYTES
+        with pytest.raises(ConfigError):
+            lowered_operand_bytes(0, 10)
+
+    def test_unchunked_vs_chunked_closed_forms(self):
+        m, n, total = 8, 18, 72
+        inter_full = _matmul_intermediate_words(m, n, total)
+        inter_blk = _matmul_intermediate_words(m, n, 7)
+        assert linear_working_set_bytes(m, n, total) == WORD_BYTES * (
+            total * (n + 2 * m) + inter_full
+        )
+        assert linear_working_set_bytes(m, n, total, chunk_cols=7) == WORD_BYTES * (
+            7 * (n + 3 * m) + inter_blk
+        )
+        # chunk >= total behaves as unchunked
+        assert linear_working_set_bytes(m, n, total, chunk_cols=total) == (
+            linear_working_set_bytes(m, n, total)
+        )
+        # chunking strictly shrinks the transient on wide layers
+        assert linear_working_set_bytes(m, n, total, chunk_cols=1) < (
+            linear_working_set_bytes(m, n, total)
+        )
+
+    def test_intermediate_capped_by_expansion_budget(self):
+        # narrow product: all rows fit under the budget
+        assert _matmul_intermediate_words(4, 8, 2) == 4 * 8 * 2
+        # wide product: the row count is clamped so rows*n*cols stays
+        # within one MATMUL_EXPANSION_WORDS chunk (plus one full row)
+        m, n, cols = 10_000, 512, 4096
+        words = _matmul_intermediate_words(m, n, cols)
+        assert words == max(1, MATMUL_EXPANSION_WORDS // (n * cols)) * n * cols
+        assert words <= MATMUL_EXPANSION_WORDS + n * cols
+        assert _matmul_intermediate_words(4, 8, 0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            linear_working_set_bytes(0, 18, 72)
+        with pytest.raises(ConfigError):
+            linear_working_set_bytes(8, 18, 72, chunk_cols=0)
+
+
+class TestMemoryReport:
+    @staticmethod
+    def _trace(memory: bool, with_attrs: bool = True):
+        tracer = Tracer(memory=memory)
+        attrs = {"m": 8, "n": 18, "o": 72, "groups": 1, "chunk_cols": 7}
+        if not with_attrs:
+            attrs = {}
+        with tracer.span("online"):
+            with tracer.span("matmul", **attrs):
+                blob = np.ones(1 << 18, dtype=np.uint64)
+                del blob
+        return tracer.to_dict()
+
+    def test_rows_join_measured_and_predicted(self):
+        rows = memory_rows(self._trace(memory=True))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.path == "online/matmul"
+        assert row.measured_bytes is not None and row.measured_bytes > 0
+        assert row.predicted_bytes == linear_working_set_bytes(
+            8, 18, 72, chunk_cols=7
+        )
+        assert row.operand_bytes == lowered_operand_bytes(18, 72)
+        assert "chunk=7" in row.detail
+
+    def test_rows_without_dimensions_or_memory(self):
+        rows = memory_rows(self._trace(memory=False, with_attrs=False))
+        assert rows[0].measured_bytes is None
+        assert rows[0].predicted_bytes is None
+        assert rows[0].detail == "missing dimensions"
+
+    def test_render_paths(self):
+        text = render_memory_report(self._trace(memory=True))
+        assert "process peak RSS" in text
+        assert "online/matmul" in text
+        cold = render_memory_report(self._trace(memory=False))
+        assert "ABNN2_TRACE_MEMORY=1" in cold  # hint when nothing measured
+        empty = Tracer(memory=False)
+        with empty.span("online"):
+            pass
+        assert "no matmul spans" in render_memory_report(empty.to_dict())
+
+
+class TestCliMemoryReport:
+    def test_report_demo_memory(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(MEMORY_ENV, "1")
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "report", "--demo", "--memory", "--check",
+                "--save-trace", str(trace_path),
+                "--hidden", "6", "--batch", "1", "--scheme", "ternary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory (per-span allocation peaks" in out
+        assert "process peak RSS" in out
+        assert "FAIL" not in out
+        doc = json.loads(trace_path.read_text())
+        measured = [
+            span.get("alloc_peak_bytes")
+            for _, span in _walk(doc["root"])
+            if span["name"] == "matmul"
+        ]
+        assert measured and all(m is not None for m in measured)
+
+
+def _walk(span, prefix=""):
+    path = f"{prefix}/{span['name']}" if prefix else span["name"]
+    yield path, span
+    for child in span.get("children", ()):
+        yield from _walk(child, path)
